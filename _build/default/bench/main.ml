@@ -1,0 +1,163 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Reproduction benches — one per table/figure of the paper
+      (Registry.all): regenerates every series the evaluation section
+      reports, in the quick profile by default (pass --full on the
+      command line, or run bin/experiments.exe directly, for paper-grade
+      §5.2 stopping criteria).
+
+   2. Bechamel micro-benchmarks of the core operations, so performance
+      regressions in the hot paths (criterion evaluation, estimator
+      updates, event queue, source stepping, the eqn (37) integral) are
+      visible. *)
+
+let run_reproduction ~profile fmt =
+  Format.fprintf fmt
+    "==========================================================@.";
+  Format.fprintf fmt
+    " Reproduction benches (Grossglauser-Tse MBAC) -- %s profile@."
+    (match profile with
+    | Mbac_experiments.Common.Quick -> "quick"
+    | Mbac_experiments.Common.Full -> "full");
+  Format.fprintf fmt
+    "==========================================================@.";
+  Mbac_experiments.Registry.run_all ~profile fmt
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let params =
+  Mbac.Params.make ~n:100.0 ~mu:1.0 ~sigma:0.3 ~t_h:1000.0 ~t_c:1.0 ~p_q:1e-3
+
+let micro_tests () =
+  let open Bechamel in
+  let alpha = Mbac.Params.alpha_q params in
+  let t_gaussian =
+    Test.make ~name:"gaussian.q_inv(1e-3)"
+      (Staged.stage (fun () -> ignore (Mbac_stats.Gaussian.q_inv 1e-3)))
+  in
+  let t_criterion =
+    Test.make ~name:"criterion.admissible"
+      (Staged.stage (fun () ->
+           ignore
+             (Mbac.Criterion.admissible ~capacity:100.0 ~mu:1.01 ~sigma:0.29
+                ~alpha)))
+  in
+  let t_estimator =
+    let est = Mbac.Estimator.ewma ~t_m:100.0 in
+    let now = ref 0.0 in
+    Test.make ~name:"estimator.ewma observe"
+      (Staged.stage (fun () ->
+           now := !now +. 0.01;
+           Mbac.Estimator.observe est
+             (Mbac.Observation.make ~now:!now ~n:100 ~sum_rate:100.0
+                ~sum_sq:109.0)))
+  in
+  let t_heap =
+    let heap = Mbac_sim.Event_heap.create () in
+    for j = 0 to 1023 do
+      Mbac_sim.Event_heap.push heap ~time:(float_of_int j) j
+    done;
+    let i = ref 0 in
+    Test.make ~name:"event_heap push+pop (1k live)"
+      (Staged.stage (fun () ->
+           incr i;
+           Mbac_sim.Event_heap.push heap ~time:(float_of_int (!i land 1023)) !i;
+           ignore (Mbac_sim.Event_heap.pop heap)))
+  in
+  let t_source =
+    let rng = Mbac_stats.Rng.create ~seed:3 in
+    let src =
+      Mbac_traffic.Rcbr.create rng
+        (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+        ~start:0.0
+    in
+    Test.make ~name:"rcbr source fire"
+      (Staged.stage (fun () ->
+           Mbac_traffic.Source.fire src
+             ~now:(Mbac_traffic.Source.next_change src)))
+  in
+  let t_formula37 =
+    Test.make ~name:"memory_formula.overflow (eqn 37 integral)"
+      (Staged.stage (fun () ->
+           ignore
+             (Mbac.Memory_formula.overflow ~p:params ~t_m:10.0
+                ~alpha_ce:alpha)))
+  in
+  let t_inversion =
+    Test.make ~name:"inversion.adjusted_alpha_ce (eqn 38 inverse)"
+      (Staged.stage (fun () ->
+           ignore (Mbac.Inversion.adjusted_alpha_ce ~t_m:10.0 params)))
+  in
+  let t_fgn =
+    let rng = Mbac_stats.Rng.create ~seed:4 in
+    Test.make ~name:"fgn.generate n=4096"
+      (Staged.stage (fun () ->
+           ignore (Mbac_numerics.Fgn.generate rng ~hurst:0.85 ~n:4096)))
+  in
+  let t_sim =
+    Test.make ~name:"continuous-load sim (50k events)"
+      (Staged.stage (fun () ->
+           let cfg =
+             { (Mbac_sim.Continuous_load.default_config ~capacity:100.0
+                  ~holding_time_mean:1000.0 ~target_p_q:1e-3)
+               with
+               Mbac_sim.Continuous_load.max_events = 50_000;
+               warmup = 10.0;
+               batch_length = 100.0 }
+           in
+           let controller =
+             Mbac.Controller.with_memory ~capacity:100.0 ~p_ce:1e-3 ~t_m:100.0
+           in
+           let rng = Mbac_stats.Rng.create ~seed:11 in
+           ignore
+             (Mbac_sim.Continuous_load.run rng cfg ~controller
+                ~make_source:(fun rng ~start ->
+                  Mbac_traffic.Rcbr.create rng
+                    (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+                    ~start))))
+  in
+  [ t_gaussian; t_criterion; t_estimator; t_heap; t_source; t_formula37;
+    t_inversion; t_fgn; t_sim ]
+
+let run_micro fmt =
+  let open Bechamel in
+  Format.fprintf fmt "@.=== Bechamel micro-benchmarks ===@.";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] when est >= 1e6 ->
+              Format.fprintf fmt "  %-46s %12.3f ms/run@." name (est /. 1e6)
+          | Some [ est ] when est >= 1e3 ->
+              Format.fprintf fmt "  %-46s %12.3f us/run@." name (est /. 1e3)
+          | Some [ est ] ->
+              Format.fprintf fmt "  %-46s %12.1f ns/run@." name est
+          | Some _ | None ->
+              Format.fprintf fmt "  %-46s (no estimate)@." name)
+        ols)
+    (micro_tests ())
+
+let () =
+  let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let profile =
+    if full then Mbac_experiments.Common.Full else Mbac_experiments.Common.Quick
+  in
+  let fmt = Format.std_formatter in
+  run_reproduction ~profile fmt;
+  if not skip_micro then run_micro fmt;
+  Format.fprintf fmt "@.bench: done.@."

@@ -1,0 +1,142 @@
+(* Single continuous-load simulation with a chosen controller and source:
+     mbac_sim --controller robust --n 100 --t-h 1000 --t-c 1 --p-q 1e-3
+     mbac_sim --controller memoryless --source onoff --max-events 2000000 *)
+
+open Cmdliner
+
+type source_kind = Rcbr | Onoff | Ou | Lrd
+
+let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
+    max_events seed =
+  let sigma = sigma_ratio *. mu in
+  let p = Mbac.Params.make ~n ~mu ~sigma ~t_h ~t_c ~p_q in
+  let capacity = Mbac.Params.capacity p in
+  let t_h_tilde = Mbac.Params.t_h_tilde p in
+  let t_m = match t_m with Some v -> v | None -> t_h_tilde in
+  let peak = mu +. (3.0 *. sigma) in
+  let controller =
+    match controller_name with
+    | "perfect" -> Ok (Mbac.Controller.perfect p)
+    | "memoryless" -> Ok (Mbac.Controller.memoryless ~capacity ~p_ce:p_q)
+    | "memory" -> Ok (Mbac.Controller.with_memory ~capacity ~p_ce:p_q ~t_m)
+    | "robust" -> Ok (Mbac.Controller.robust p)
+    | "measured-sum" ->
+        Ok
+          (Mbac.Controller.measured_sum ~capacity ~utilization_target:0.9
+             ~window:t_h_tilde ~peak)
+    | "hoeffding" ->
+        Ok
+          (Mbac.Controller.hoeffding ~capacity ~p_ce:p_q ~peak
+             (Mbac.Estimator.ewma ~t_m))
+    | "gkk" ->
+        Ok
+          (Mbac.Controller.gkk ~capacity ~p_ce:p_q ~prior_mu:mu
+             ~prior_var:(sigma *. sigma) ~prior_weight:0.5)
+    | "peak-rate" -> Ok (Mbac.Controller.peak_rate ~capacity ~peak)
+    | other -> Error (Printf.sprintf "unknown controller %S" other)
+  in
+  match controller with
+  | Error _ as e -> e
+  | Ok controller ->
+      let rng = Mbac_stats.Rng.create ~seed in
+      let lrd_trace =
+        lazy
+          (let trng = Mbac_stats.Rng.create ~seed:(seed + 1) in
+           let params = Mbac_traffic.Mpeg_synth.default_params ~mean_rate:mu in
+           let raw = Mbac_traffic.Mpeg_synth.generate trng params ~frames:65536 in
+           Mbac_traffic.Renegotiate.segments ~segment_len:24 ~percentile:0.95 raw)
+      in
+      let make_source rng ~start =
+        match source_kind with
+        | Rcbr ->
+            Mbac_traffic.Rcbr.create rng { Mbac_traffic.Rcbr.mu; sigma; t_c }
+              ~start
+        | Onoff ->
+            (* match mean and variance: peak p_on = mu, peak^2 p(1-p) = sigma^2 *)
+            let p_on = 1.0 /. (1.0 +. ((sigma /. mu) ** 2.0)) in
+            let peak = mu /. p_on in
+            Mbac_traffic.Onoff.create rng
+              { Mbac_traffic.Onoff.peak; mean_on = t_c *. (1.0 -. p_on);
+                mean_off = t_c *. p_on }
+              ~start
+        | Ou ->
+            Mbac_traffic.Ou_source.create rng
+              { Mbac_traffic.Ou_source.mu; sigma; t_c; dt = t_c /. 10.0 }
+              ~start
+        | Lrd ->
+            (* one shared trace per process; cheap memoization *)
+            let trace = Lazy.force lrd_trace in
+            Mbac_traffic.Trace_source.create rng trace ~start
+      in
+      let batch = 2.0 *. Float.max t_h_tilde (Float.max t_m t_c) in
+      let cfg =
+        { (Mbac_sim.Continuous_load.default_config ~capacity
+             ~holding_time_mean:t_h ~target_p_q:p_q)
+          with
+          Mbac_sim.Continuous_load.warmup = 5.0 *. batch;
+          batch_length = batch;
+          max_events }
+      in
+      Format.printf "system: %a@." Mbac.Params.pp p;
+      Format.printf "controller: %s, source: %s@."
+        (Mbac.Controller.name controller)
+        (match source_kind with
+        | Rcbr -> "rcbr" | Onoff -> "onoff" | Ou -> "ou" | Lrd -> "lrd");
+      let result = Mbac_sim.Continuous_load.run rng cfg ~controller ~make_source in
+      Format.printf "%a@." Mbac_sim.Continuous_load.pp_result result;
+      Format.printf "theory (eqn 37 at this T_m): %.4g@."
+        (Mbac.Memory_formula.overflow ~p ~t_m
+           ~alpha_ce:(Mbac.Params.alpha_q p));
+      Ok ()
+
+let source_conv =
+  let parse = function
+    | "rcbr" -> Ok Rcbr
+    | "onoff" -> Ok Onoff
+    | "ou" -> Ok Ou
+    | "lrd" -> Ok Lrd
+    | s -> Error (`Msg (Printf.sprintf "unknown source %S" s))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with Rcbr -> "rcbr" | Onoff -> "onoff" | Ou -> "ou" | Lrd -> "lrd")
+  in
+  Arg.conv (parse, print)
+
+let controller_opt =
+  Arg.(value & opt string "robust" & info [ "controller"; "c" ] ~docv:"NAME"
+         ~doc:"perfect | memoryless | memory | robust | measured-sum | \
+               hoeffding | gkk | peak-rate")
+
+let source_opt =
+  Arg.(value & opt source_conv Rcbr & info [ "source"; "s" ] ~docv:"KIND"
+         ~doc:"rcbr | onoff | ou | lrd")
+
+let fopt name default doc =
+  Arg.(value & opt float default & info [ name ] ~docv:"X" ~doc)
+
+let cmd =
+  let term =
+    Term.(
+      const run_sim
+      $ controller_opt $ source_opt
+      $ fopt "n" 100.0 "Normalized capacity (system size)."
+      $ fopt "mu" 1.0 "Per-flow mean rate."
+      $ fopt "sigma-ratio" 0.3 "sigma / mu."
+      $ fopt "t-h" 1000.0 "Mean flow holding time."
+      $ fopt "t-c" 1.0 "Traffic correlation time-scale."
+      $ fopt "p-q" 1e-3 "Target overflow probability."
+      $ Arg.(value & opt (some float) None
+             & info [ "t-m" ] ~docv:"X"
+                 ~doc:"Estimator memory (default: T~_h).")
+      $ Arg.(value & opt int 8_000_000
+             & info [ "max-events" ] ~docv:"N" ~doc:"Event cap.")
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed."))
+  in
+  Cmd.v
+    (Cmd.info "mbac_sim"
+       ~doc:"Simulate one admission-controlled bufferless link under \
+             continuous load")
+    Term.(term_result' ~usage:true term)
+
+let () = exit (Cmd.eval cmd)

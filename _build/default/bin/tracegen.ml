@@ -1,0 +1,65 @@
+(* Generate synthetic LRD / MPEG-like traces to CSV:
+     tracegen --frames 65536 --hurst 0.85 --mean 1.0 -o trace.csv
+     tracegen --renegotiate 24 --percentile 0.95 -o rcbr.csv *)
+
+open Cmdliner
+
+let generate frames hurst mean cv seed renegotiate percentile output =
+  if frames <= 0 then Error "frames must be positive"
+  else begin
+    let rng = Mbac_stats.Rng.create ~seed in
+    let params =
+      { (Mbac_traffic.Mpeg_synth.default_params ~mean_rate:mean) with
+        Mbac_traffic.Mpeg_synth.hurst; cv }
+    in
+    let trace = Mbac_traffic.Mpeg_synth.generate rng params ~frames in
+    let trace =
+      match renegotiate with
+      | None -> trace
+      | Some segment_len ->
+          Mbac_traffic.Renegotiate.segments ~segment_len ~percentile trace
+    in
+    let csv = Mbac_traffic.Trace.to_csv trace in
+    (match output with
+    | None -> print_string csv
+    | Some path ->
+        let oc = open_out path in
+        output_string oc csv;
+        close_out oc;
+        Printf.printf
+          "wrote %s: %d samples, mean %.4f, std %.4f, %d renegotiations\n" path
+          (Mbac_traffic.Trace.length trace)
+          (Mbac_traffic.Trace.mean trace)
+          (sqrt (Mbac_traffic.Trace.variance trace))
+          (Mbac_traffic.Renegotiate.renegotiation_count trace));
+    Ok ()
+  end
+
+let cmd =
+  let term =
+    Term.(
+      const generate
+      $ Arg.(value & opt int 65536 & info [ "frames" ] ~docv:"N"
+               ~doc:"Number of samples to generate.")
+      $ Arg.(value & opt float 0.85 & info [ "hurst" ] ~docv:"H"
+               ~doc:"Hurst parameter of the fGn base (0 < H < 1).")
+      $ Arg.(value & opt float 1.0 & info [ "mean" ] ~docv:"X"
+               ~doc:"Target mean rate.")
+      $ Arg.(value & opt float 0.55 & info [ "cv" ] ~docv:"X"
+               ~doc:"Coefficient of variation (std/mean).")
+      $ Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+      $ Arg.(value & opt (some int) None
+             & info [ "renegotiate" ] ~docv:"LEN"
+                 ~doc:"Also apply RCBR renegotiation with segments of LEN \
+                       samples.")
+      $ Arg.(value & opt float 0.95 & info [ "percentile" ] ~docv:"P"
+               ~doc:"Per-segment percentile for renegotiation.")
+      $ Arg.(value & opt (some string) None
+             & info [ "output"; "o" ] ~docv:"FILE"
+                 ~doc:"Output file (default: stdout)."))
+  in
+  Cmd.v
+    (Cmd.info "tracegen" ~doc:"Generate synthetic LRD video-like rate traces")
+    Term.(term_result' ~usage:true term)
+
+let () = exit (Cmd.eval cmd)

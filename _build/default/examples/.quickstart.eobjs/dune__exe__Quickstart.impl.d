@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mbac Mbac_sim Mbac_stats Mbac_traffic

@@ -1,0 +1,1 @@
+examples/scheme_comparison.ml: Float Format List Mbac Mbac_sim Mbac_stats Mbac_traffic

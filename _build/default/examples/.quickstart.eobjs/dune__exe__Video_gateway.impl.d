@@ -1,0 +1,1 @@
+examples/video_gateway.ml: Array Float Format Mbac Mbac_sim Mbac_stats Mbac_traffic

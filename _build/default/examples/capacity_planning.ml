@@ -1,0 +1,62 @@
+(* Capacity planning with the analysis formulas — no simulation.
+
+   A network operator wants to know, before deployment:
+   (a) how many flows a link can carry at a given QoS,
+   (b) how aggressively the MBAC target must be adjusted for a given
+       estimator memory (eqn 38 inverted), and
+   (c) what that robustness costs in carried bandwidth (eqn 40).
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+let () =
+  let mu = 1.0 and sigma = 0.3 in
+  Format.printf
+    "Link sizing at p_q = 1e-3 (mu = %g, sigma = %g, T_h = 1000, T_c = 1):@.@."
+    mu sigma;
+
+  (* (a) admissible flows and statistical multiplexing gain vs system size *)
+  Format.printf "%8s %10s %12s %12s %10s@." "n" "m*" "peak-alloc"
+    "mux gain" "util";
+  List.iter
+    (fun n ->
+      let p = Mbac.Params.make ~n ~mu ~sigma ~t_h:1000.0 ~t_c:1.0 ~p_q:1e-3 in
+      let m_star = Mbac.Criterion.m_star p in
+      let peak_alloc =
+        Mbac.Criterion.peak_rate_count ~capacity:(Mbac.Params.capacity p)
+          ~peak:(mu +. (3.0 *. sigma))
+      in
+      Format.printf "%8.0f %10d %12d %12.2f %9.1f%%@." n m_star peak_alloc
+        (float_of_int m_star /. float_of_int peak_alloc)
+        (100.0 *. Mbac.Utilization.perfect p /. Mbac.Params.capacity p))
+    [ 25.0; 100.0; 400.0; 1600.0 ];
+
+  (* (b) the adjusted target across memory choices for one design point *)
+  let p = Mbac.Params.make ~n:100.0 ~mu ~sigma ~t_h:1000.0 ~t_c:1.0 ~p_q:1e-3 in
+  let t_h_tilde = Mbac.Params.t_h_tilde p in
+  Format.printf
+    "@.Adjusted CE target vs memory (n = 100, T~_h = %g, eqn 38 inverted):@."
+    t_h_tilde;
+  Format.printf "%10s %12s %14s %16s@." "T_m" "alpha_ce" "log10 p_ce"
+    "bandwidth cost";
+  List.iter
+    (fun t_m ->
+      let alpha_ce = Mbac.Inversion.adjusted_alpha_ce ~t_m p in
+      Format.printf "%10g %12.3f %14.2f %16.3f@." t_m alpha_ce
+        (Mbac.Inversion.adjusted_log_p_ce ~t_m p /. log 10.0)
+        (Mbac.Utilization.robustness_cost p ~t_m))
+    [ 1.0; 10.0; t_h_tilde; 10.0 *. t_h_tilde ];
+
+  (* (c) the paper's recommended design point *)
+  let t_m = Mbac.Window.recommended_t_m p in
+  Format.printf
+    "@.Recommended design: T_m = T~_h = %g, p_ce = %.3e; predicted p_f \
+     across unknown T_c in [0.01, 1000]: worst case %.2e (target %.0e).@."
+    t_m
+    (Mbac.Inversion.adjusted_p_ce ~t_m p)
+    (Mbac.Window.worst_case_overflow p ~t_m
+       ~t_cs:[| 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0 |])
+    p.Mbac.Params.p_q;
+  Format.printf
+    "Robust across two decades of traffic correlation: %b@."
+    (Mbac.Window.is_robust p ~t_m
+       ~t_cs:[| 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0 |])

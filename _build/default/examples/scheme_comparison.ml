@@ -1,0 +1,66 @@
+(* Scheme comparison: run every admission-control scheme in the library
+   on one workload and print the QoS-vs-utilization frontier.
+
+   Run with: dune exec examples/scheme_comparison.exe *)
+
+let () =
+  let p =
+    Mbac.Params.make ~n:100.0 ~mu:1.0 ~sigma:0.3 ~t_h:1000.0 ~t_c:1.0
+      ~p_q:1e-2
+  in
+  let capacity = Mbac.Params.capacity p in
+  let p_ce = p.Mbac.Params.p_q in
+  let t_h_tilde = Mbac.Params.t_h_tilde p in
+  let peak = p.Mbac.Params.mu +. (3.0 *. p.Mbac.Params.sigma) in
+  let make_source rng ~start =
+    Mbac_traffic.Rcbr.create rng
+      (Mbac_traffic.Rcbr.default_params ~mu:p.Mbac.Params.mu)
+      ~start
+  in
+  let schemes =
+    [ (Mbac.Controller.perfect p, 0.0);
+      (Mbac.Controller.memoryless ~capacity ~p_ce, 0.0);
+      (Mbac.Controller.with_memory ~capacity ~p_ce ~t_m:t_h_tilde, t_h_tilde);
+      (Mbac.Controller.robust p, t_h_tilde);
+      ( Mbac.Controller.measured_sum ~capacity ~utilization_target:0.9
+          ~window:t_h_tilde ~peak,
+        t_h_tilde );
+      ( Mbac.Controller.hoeffding ~capacity ~p_ce ~peak
+          (Mbac.Estimator.ewma ~t_m:t_h_tilde),
+        t_h_tilde );
+      ( Mbac.Controller.gkk ~capacity ~p_ce ~prior_mu:p.Mbac.Params.mu
+          ~prior_var:(p.Mbac.Params.sigma ** 2.0) ~prior_weight:0.5,
+        0.0 );
+      (Mbac.Controller.peak_rate ~capacity ~peak, 0.0) ]
+  in
+  Format.printf "workload: %a@.@." Mbac.Params.pp p;
+  Format.printf "%-34s %12s %8s %10s@." "scheme" "p_f" "meets?" "util";
+  List.iter
+    (fun (controller, t_m) ->
+      let batch = 2.0 *. Float.max t_h_tilde (Float.max t_m 1.0) in
+      let cfg =
+        { (Mbac_sim.Continuous_load.default_config ~capacity
+             ~holding_time_mean:p.Mbac.Params.t_h
+             ~target_p_q:p.Mbac.Params.p_q)
+          with
+          Mbac_sim.Continuous_load.warmup = 5.0 *. batch;
+          batch_length = batch;
+          max_events = 2_000_000 }
+      in
+      let r =
+        Mbac_sim.Continuous_load.run
+          (Mbac_stats.Rng.create ~seed:5)
+          cfg ~controller ~make_source
+      in
+      Format.printf "%-34s %12.3e %8s %9.1f%%@."
+        (Mbac.Controller.name controller)
+        r.Mbac_sim.Continuous_load.p_f
+        (if r.Mbac_sim.Continuous_load.p_f <= 2.0 *. p.Mbac.Params.p_q then
+           "yes"
+         else "NO")
+        (100.0 *. r.Mbac_sim.Continuous_load.utilization))
+    schemes;
+  Format.printf
+    "@.The frontier: schemes either miss the QoS (memoryless CE) or pay \
+     utilization for safety (Hoeffding, peak-rate); the paper's robust \
+     MBAC meets the target near the perfect-knowledge utilization.@."

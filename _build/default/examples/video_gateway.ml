@@ -1,0 +1,79 @@
+(* Video gateway: the workload that motivates the paper's introduction.
+
+   VBR-compressed video is exactly the traffic users cannot specify a
+   priori: long-range-dependent, scene-driven, with slow time-scale
+   variation that leaky buckets can't describe.  This example builds a
+   gateway multiplexing "Starwars-like" LRD video flows (synthetic trace,
+   RCBR-renegotiated) onto one link, and compares a naive memoryless
+   MBAC against the paper's memory-window design.
+
+   Run with: dune exec examples/video_gateway.exe *)
+
+let () =
+  (* 1. Synthesise the video library: a long LRD trace (Hurst 0.85,
+     skewed marginal, scene shifts) renegotiated into piecewise-CBR once
+     per second at the 95th percentile — the RCBR service model. *)
+  let trng = Mbac_stats.Rng.create ~seed:7 in
+  let raw =
+    Mbac_traffic.Mpeg_synth.generate trng
+      (Mbac_traffic.Mpeg_synth.default_params ~mean_rate:1.5)
+      ~frames:131072
+  in
+  let trace =
+    Mbac_traffic.Renegotiate.segments ~segment_len:24 ~percentile:0.95 raw
+  in
+  Format.printf
+    "video trace: %d samples (%.0f time units), mean %.3f Mb/s, std %.3f, \
+     %d renegotiations, acf(24 frames) = %.3f@."
+    (Mbac_traffic.Trace.length trace)
+    (Mbac_traffic.Trace.duration trace)
+    (Mbac_traffic.Trace.mean trace)
+    (sqrt (Mbac_traffic.Trace.variance trace))
+    (Mbac_traffic.Renegotiate.renegotiation_count trace)
+    (Mbac_traffic.Trace.autocorrelation trace ~max_lag:24).(24);
+
+  (* 2. Gateway: capacity for ~80 average movies; mean session 20 min
+     (1200 time units); QoS: rate renegotiations fail < 0.1% of time. *)
+  let mu = Mbac_traffic.Trace.mean trace in
+  let sigma = sqrt (Mbac_traffic.Trace.variance trace) in
+  let n = 80.0 in
+  let p = Mbac.Params.make ~n ~mu ~sigma ~t_h:1200.0 ~t_c:1.0 ~p_q:1e-3 in
+  let capacity = Mbac.Params.capacity p in
+  let t_h_tilde = Mbac.Params.t_h_tilde p in
+  Format.printf "gateway: capacity %.1f Mb/s (~%g flows), T~_h = %.1f@."
+    capacity n t_h_tilde;
+
+  (* 3. Flows play the trace from independent random offsets. *)
+  let make_source rng ~start =
+    Mbac_traffic.Trace_source.create rng trace ~start
+  in
+
+  (* 4. Compare memoryless vs memory-window MBAC on this LRD traffic. *)
+  let simulate name t_m =
+    let controller =
+      Mbac.Controller.with_memory ~capacity ~p_ce:p.Mbac.Params.p_q ~t_m
+    in
+    let batch = 2.0 *. Float.max t_h_tilde (Float.max t_m 1.0) in
+    let cfg =
+      { (Mbac_sim.Continuous_load.default_config ~capacity
+           ~holding_time_mean:p.Mbac.Params.t_h ~target_p_q:p.Mbac.Params.p_q)
+        with
+        Mbac_sim.Continuous_load.warmup = 5.0 *. batch;
+        batch_length = batch;
+        max_events = 3_000_000 }
+    in
+    let r =
+      Mbac_sim.Continuous_load.run
+        (Mbac_stats.Rng.create ~seed:21)
+        cfg ~controller ~make_source
+    in
+    Format.printf "%-28s p_f = %.2e, utilization = %.1f%%, %.0f flows@." name
+      r.Mbac_sim.Continuous_load.p_f
+      (100.0 *. r.Mbac_sim.Continuous_load.utilization)
+      r.Mbac_sim.Continuous_load.mean_flows
+  in
+  simulate "memoryless MBAC:" 0.0;
+  simulate "memory window (T_m=T~_h):" t_h_tilde;
+  Format.printf
+    "Even on long-range-dependent video, the T_m = T~_h window keeps the \
+     renegotiation-failure rate at the target (paper, Figs 11-12).@."

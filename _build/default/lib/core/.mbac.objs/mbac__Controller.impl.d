@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Criterion Effective_bandwidth Estimator Float Inversion Mbac_stats Observation Params Printf Window

@@ -1,0 +1,1 @@
+lib/core/criterion.ml: Mbac_stats Params

@@ -1,0 +1,1 @@
+lib/core/effective_bandwidth.ml: Float

@@ -1,0 +1,1 @@
+lib/core/finite_holding.ml: Float Mbac_stats Params

@@ -1,0 +1,1 @@
+lib/core/finite_holding.mli: Params

@@ -1,0 +1,1 @@
+lib/core/hitting.ml: Mbac_numerics Mbac_stats

@@ -1,0 +1,1 @@
+lib/core/impulsive.ml: Criterion Mbac_stats Params

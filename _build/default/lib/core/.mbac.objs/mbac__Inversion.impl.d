@@ -1,0 +1,1 @@
+lib/core/inversion.ml: Mbac_numerics Mbac_stats Memory_formula Params

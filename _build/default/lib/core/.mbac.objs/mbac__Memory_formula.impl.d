@@ -1,0 +1,1 @@
+lib/core/memory_formula.ml: Mbac_numerics Mbac_stats Params

@@ -1,0 +1,1 @@
+lib/core/observation.ml: Float

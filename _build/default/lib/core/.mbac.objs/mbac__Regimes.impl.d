@@ -1,0 +1,1 @@
+lib/core/regimes.ml: Mbac_stats Params

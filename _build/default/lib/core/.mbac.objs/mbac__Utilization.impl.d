@@ -1,0 +1,1 @@
+lib/core/utilization.ml: Criterion Inversion Params

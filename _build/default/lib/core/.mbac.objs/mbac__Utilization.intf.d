@@ -1,0 +1,1 @@
+lib/core/utilization.mli: Params

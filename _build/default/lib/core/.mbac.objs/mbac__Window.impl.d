@@ -1,0 +1,1 @@
+lib/core/window.ml: Array Float Memory_formula Params

@@ -1,0 +1,216 @@
+type t = {
+  name : string;
+  observe : Observation.t -> unit;
+  admissible : Observation.t -> int;
+  on_admit : Observation.t -> unit;
+  on_depart : Observation.t -> unit;
+  reset : unit -> unit;
+}
+
+let name t = t.name
+let observe t obs = t.observe obs
+let admissible t obs = t.admissible obs
+let on_admit t obs = t.on_admit obs
+let on_depart t obs = t.on_depart obs
+let reset t = t.reset ()
+
+let nop (_ : Observation.t) = ()
+
+let make ?(on_admit = nop) ?(on_depart = nop) ?(reset = fun () -> ()) ~name
+    ~observe ~admissible () =
+  { name; observe; admissible; on_admit; on_depart; reset }
+
+let check_p_ce p_ce =
+  if not (p_ce > 0.0 && p_ce <= 0.5) then
+    invalid_arg "Controller: requires 0 < p_ce <= 0.5"
+
+let perfect p =
+  let m = Criterion.m_star p in
+  make ~name:"perfect" ~observe:nop ~admissible:(fun _ -> m) ()
+
+let certainty_equivalent ~capacity ~p_ce estimator =
+  check_p_ce p_ce;
+  let alpha = Mbac_stats.Gaussian.q_inv p_ce in
+  let admissible obs =
+    match Estimator.current estimator with
+    | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
+        Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat) ~alpha
+    | Some _ | None ->
+        (* Cautious bootstrap: admit one flow at a time until the
+           estimator produces a usable estimate. *)
+        obs.Observation.n + 1
+  in
+  make
+    ~name:(Printf.sprintf "ce[%s,p_ce=%.2g]" (Estimator.name estimator) p_ce)
+    ~observe:(Estimator.observe estimator)
+    ~admissible
+    ~reset:(fun () -> Estimator.reset estimator)
+    ()
+
+let memoryless ~capacity ~p_ce =
+  certainty_equivalent ~capacity ~p_ce (Estimator.memoryless ())
+
+let with_memory ~capacity ~p_ce ~t_m =
+  certainty_equivalent ~capacity ~p_ce (Estimator.ewma ~t_m)
+
+let robust p =
+  let t_m = Window.recommended_t_m p in
+  let alpha_ce = Inversion.adjusted_alpha_ce ~t_m p in
+  (* Guard the degenerate deep-repair case where no adjustment is needed:
+     alpha_ce = 0 would mean p_ce = 0.5; never run below the QoS target. *)
+  let alpha_ce = Float.max alpha_ce (Params.alpha_q p) in
+  let capacity = Params.capacity p in
+  let estimator = Estimator.ewma ~t_m in
+  let admissible obs =
+    match Estimator.current estimator with
+    | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
+        Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat)
+          ~alpha:alpha_ce
+    | Some _ | None -> obs.Observation.n + 1
+  in
+  make
+    ~name:(Printf.sprintf "robust[T_m=%.3g,alpha_ce=%.3g]" t_m alpha_ce)
+    ~observe:(Estimator.observe estimator)
+    ~admissible
+    ~reset:(fun () -> Estimator.reset estimator)
+    ()
+
+let peak_rate ~capacity ~peak =
+  let m = Criterion.peak_rate_count ~capacity ~peak in
+  make ~name:"peak-rate" ~observe:nop ~admissible:(fun _ -> m) ()
+
+(* Windowed maximum via rotating sub-blocks: the window is divided into
+   [n_blocks] sub-intervals; we keep the max of each and report the max
+   over all blocks (Jamin's measurement window T / sampling window S). *)
+module Windowed_max = struct
+  type state = {
+    block_len : float;
+    maxima : float array;
+    mutable head : int;          (* index of the current block *)
+    mutable block_end : float;   (* end time of the current block *)
+    mutable started : bool;
+  }
+
+  let create ~window ~n_blocks =
+    { block_len = window /. float_of_int n_blocks;
+      maxima = Array.make n_blocks neg_infinity;
+      head = 0; block_end = 0.0; started = false }
+
+  let add s ~now x =
+    if not s.started then begin
+      s.started <- true;
+      s.block_end <- now +. s.block_len
+    end;
+    while now >= s.block_end do
+      s.head <- (s.head + 1) mod Array.length s.maxima;
+      s.maxima.(s.head) <- neg_infinity;
+      s.block_end <- s.block_end +. s.block_len
+    done;
+    if x > s.maxima.(s.head) then s.maxima.(s.head) <- x
+
+  let current s = Array.fold_left Float.max neg_infinity s.maxima
+
+  let reset s =
+    Array.fill s.maxima 0 (Array.length s.maxima) neg_infinity;
+    s.head <- 0;
+    s.started <- false
+end
+
+let measured_sum ~capacity ~utilization_target ~window ~peak =
+  if not (utilization_target > 0.0 && utilization_target <= 1.0) then
+    invalid_arg "Controller.measured_sum: utilization_target outside (0,1]";
+  if window <= 0.0 then invalid_arg "Controller.measured_sum: window <= 0";
+  if peak <= 0.0 then invalid_arg "Controller.measured_sum: peak <= 0";
+  let wm = Windowed_max.create ~window ~n_blocks:8 in
+  let observe obs =
+    Windowed_max.add wm ~now:obs.Observation.now obs.Observation.sum_rate
+  in
+  let admissible obs =
+    let max_load = Windowed_max.current wm in
+    if max_load = neg_infinity then obs.Observation.n + 1
+    else begin
+      let headroom = (utilization_target *. capacity) -. max_load in
+      if headroom < peak then obs.Observation.n
+      else obs.Observation.n + int_of_float (headroom /. peak)
+    end
+  in
+  make
+    ~name:(Printf.sprintf "measured-sum[u=%.2f,T=%g]" utilization_target window)
+    ~observe ~admissible
+    ~reset:(fun () -> Windowed_max.reset wm)
+    ()
+
+let hoeffding ~capacity ~p_ce ~peak estimator =
+  check_p_ce p_ce;
+  if peak <= 0.0 then invalid_arg "Controller.hoeffding: peak <= 0";
+  (* M mu + b sqrt M <= c with b = peak sqrt(ln(1/p)/2): same quadratic as
+     the Gaussian criterion with (sigma alpha) |-> b. *)
+  let bound = peak *. sqrt (log (1.0 /. p_ce) /. 2.0) in
+  let admissible obs =
+    match Estimator.current estimator with
+    | Some { Estimator.mu_hat; _ } when mu_hat > 0.0 ->
+        Criterion.admissible ~capacity ~mu:mu_hat ~sigma:bound ~alpha:1.0
+    | Some _ | None -> obs.Observation.n + 1
+  in
+  make
+    ~name:(Printf.sprintf "hoeffding[p=%.2g]" p_ce)
+    ~observe:(Estimator.observe estimator)
+    ~admissible
+    ~reset:(fun () -> Estimator.reset estimator)
+    ()
+
+let chernoff ~capacity ~p_ce estimator =
+  check_p_ce p_ce;
+  let alpha = Effective_bandwidth.gaussian_alpha_of_p p_ce in
+  let admissible obs =
+    match Estimator.current estimator with
+    | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
+        Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat) ~alpha
+    | Some _ | None -> obs.Observation.n + 1
+  in
+  make
+    ~name:(Printf.sprintf "chernoff[p=%.2g]" p_ce)
+    ~observe:(Estimator.observe estimator)
+    ~admissible
+    ~reset:(fun () -> Estimator.reset estimator)
+    ()
+
+let gkk ~capacity ~p_ce ~prior_mu ~prior_var ~prior_weight =
+  check_p_ce p_ce;
+  if not (prior_weight >= 0.0 && prior_weight <= 1.0) then
+    invalid_arg "Controller.gkk: prior_weight outside [0,1]";
+  let alpha = Mbac_stats.Gaussian.q_inv p_ce in
+  let estimator = Estimator.memoryless () in
+  (* "One out, one in": after the criterion rejects (system judged full),
+     no further admissions until a departure frees a slot.  This damps
+     the admission rate when the system hovers at the boundary. *)
+  let blocked = ref false in
+  let admissible obs =
+    if !blocked then obs.Observation.n
+    else begin
+      let m =
+        match Estimator.current estimator with
+        | Some { Estimator.mu_hat; var_hat } ->
+            let mu =
+              (prior_weight *. prior_mu) +. ((1.0 -. prior_weight) *. mu_hat)
+            in
+            let var =
+              (prior_weight *. prior_var) +. ((1.0 -. prior_weight) *. var_hat)
+            in
+            if mu <= 0.0 then obs.Observation.n + 1
+            else Criterion.admissible ~capacity ~mu ~sigma:(sqrt var) ~alpha
+        | None -> obs.Observation.n + 1
+      in
+      if m <= obs.Observation.n then blocked := true;
+      m
+    end
+  in
+  make
+    ~name:(Printf.sprintf "gkk[w=%.2f]" prior_weight)
+    ~observe:(Estimator.observe estimator)
+    ~admissible
+    ~on_depart:(fun _ -> blocked := false)
+    ~reset:(fun () ->
+      blocked := false;
+      Estimator.reset estimator)
+    ()

@@ -1,0 +1,37 @@
+let admissible_real ~capacity ~mu ~sigma ~alpha =
+  if mu <= 0.0 then invalid_arg "Criterion.admissible_real: requires mu > 0";
+  if sigma < 0.0 then invalid_arg "Criterion.admissible_real: requires sigma >= 0";
+  if capacity <= 0.0 then 0.0
+  else if sigma = 0.0 then capacity /. mu
+  else begin
+    (* M mu + alpha sigma sqrt M - c = 0; positive root in sqrt M. *)
+    let sa = sigma *. alpha in
+    let root = (sqrt ((sa *. sa) +. (4.0 *. capacity *. mu)) -. sa) /. (2.0 *. mu) in
+    if root <= 0.0 then 0.0 else root *. root
+  end
+
+let admissible ~capacity ~mu ~sigma ~alpha =
+  let m = admissible_real ~capacity ~mu ~sigma ~alpha in
+  if m <= 0.0 then 0 else int_of_float m
+
+let overflow_probability ~capacity ~mu ~sigma ~m =
+  if m <= 0.0 then 0.0
+  else
+    Mbac_stats.Gaussian.overflow_probability ~capacity ~mean:(m *. mu)
+      ~std:(sigma *. sqrt m)
+
+let m_star_real p =
+  admissible_real ~capacity:(Params.capacity p) ~mu:p.Params.mu
+    ~sigma:p.Params.sigma ~alpha:(Params.alpha_q p)
+
+let m_star p =
+  let m = m_star_real p in
+  if m <= 0.0 then 0 else int_of_float m
+
+let m_star_approx p =
+  let open Params in
+  p.n -. (p.sigma *. alpha_q p /. p.mu *. sqrt p.n)
+
+let peak_rate_count ~capacity ~peak =
+  if peak <= 0.0 then invalid_arg "Criterion.peak_rate_count: requires peak > 0";
+  if capacity <= 0.0 then 0 else int_of_float (capacity /. peak)

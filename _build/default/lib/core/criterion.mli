@@ -1,0 +1,36 @@
+(** The Gaussian admission criterion.
+
+    The number of admissible flows M is the largest value satisfying
+    Q((c - M mu)/(sigma sqrt M)) <= p, i.e. solving eqn (4) (perfect
+    knowledge) or eqn (6) (certainty equivalence with estimates).  The
+    positive root of the underlying quadratic gives the closed form of
+    eqn (42). *)
+
+val admissible_real : capacity:float -> mu:float -> sigma:float -> alpha:float -> float
+(** The real-valued solution
+    M = ((sqrt(sigma^2 alpha^2 + 4 c mu) - sigma alpha) / (2 mu))^2 of
+    eqn (42), where [alpha = Q^{-1}(p)].  [sigma = 0] gives [c / mu].
+    Returns [0.] when [capacity <= 0].
+    @raise Invalid_argument if [mu <= 0] or [sigma < 0]. *)
+
+val admissible : capacity:float -> mu:float -> sigma:float -> alpha:float -> int
+(** Integer part of {!admissible_real} (never negative). *)
+
+val overflow_probability : capacity:float -> mu:float -> sigma:float -> m:float -> float
+(** p_f(mu, sigma, m) = Q((c - m mu)/(sigma sqrt m)) — the §3.1 map from a
+    flow count to an overflow probability under the Gaussian
+    approximation. *)
+
+val m_star_real : Params.t -> float
+(** Real-valued m* under perfect knowledge (eqn (4) solved exactly). *)
+
+val m_star : Params.t -> int
+(** floor of {!m_star_real}: the perfect-knowledge admissible count. *)
+
+val m_star_approx : Params.t -> float
+(** The heavy-traffic expansion m* ~ n - (sigma alpha_q / mu) sqrt n
+    (eqn (5)). *)
+
+val peak_rate_count : capacity:float -> peak:float -> int
+(** Flows admitted under lossless peak-rate allocation.
+    @raise Invalid_argument if [peak <= 0]. *)

@@ -1,0 +1,66 @@
+type log_mgf = float -> float
+
+let gaussian_log_mgf ~mu ~sigma theta =
+  (theta *. mu) +. (0.5 *. theta *. theta *. sigma *. sigma)
+
+let onoff_log_mgf ~peak ~p_on theta =
+  log (1.0 -. p_on +. (p_on *. exp (theta *. peak)))
+
+(* sup_theta (theta c - m Lambda(theta)) by golden-section search on a
+   bracket grown until the objective turns over (it is concave in theta
+   for any valid log-MGF). *)
+let chernoff_exponent ~log_mgf ~m ~capacity =
+  if m <= 0.0 then invalid_arg "Effective_bandwidth: requires m > 0";
+  if capacity <= 0.0 then invalid_arg "Effective_bandwidth: requires capacity > 0";
+  let objective theta = (theta *. capacity) -. (m *. log_mgf theta) in
+  (* grow the upper bracket until the objective decreases *)
+  let rec grow hi k =
+    if k > 200 then hi
+    else if objective hi > objective (hi /. 2.0) then grow (hi *. 2.0) (k + 1)
+    else hi
+  in
+  let hi = grow 1.0 0 in
+  let golden = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec search a b k =
+    if k = 0 then 0.5 *. (a +. b)
+    else begin
+      let x1 = b -. (golden *. (b -. a)) in
+      let x2 = a +. (golden *. (b -. a)) in
+      if objective x1 > objective x2 then search a x2 (k - 1)
+      else search x1 b (k - 1)
+    end
+  in
+  let theta_star = search 0.0 hi 100 in
+  Float.max 0.0 (objective theta_star)
+
+let chernoff_overflow_bound ~log_mgf ~m ~capacity =
+  exp (-.chernoff_exponent ~log_mgf ~m ~capacity)
+
+let admissible ~log_mgf ~capacity ~p_target =
+  if not (p_target > 0.0 && p_target < 1.0) then
+    invalid_arg "Effective_bandwidth.admissible: requires 0 < p_target < 1";
+  let ok m =
+    m = 0
+    || chernoff_overflow_bound ~log_mgf ~m:(float_of_int m) ~capacity
+       <= p_target
+  in
+  if not (ok 1) then 0
+  else begin
+    (* exponential then binary search for the boundary *)
+    let rec grow hi = if ok hi then grow (2 * hi) else hi in
+    let hi = grow 1 in
+    let rec bisect lo hi =
+      (* invariant: ok lo, not (ok hi) *)
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if ok mid then bisect mid hi else bisect lo mid
+      end
+    in
+    bisect 1 hi
+  end
+
+let gaussian_alpha_of_p p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Effective_bandwidth.gaussian_alpha_of_p: requires 0 < p < 1";
+  sqrt (2.0 *. log (1.0 /. p))

@@ -1,0 +1,39 @@
+(** Effective bandwidths and Chernoff-bound admission (Hui [14]; the
+    large-deviations regime the paper contrasts its heavy-traffic
+    analysis against in §3.1).
+
+    For i.i.d. flows with per-flow log-MGF Lambda(theta) =
+    log E[e^{theta X}], the Chernoff bound on bufferless overflow is
+    P(S_m > c) <= exp(-(sup_theta (theta c - m Lambda(theta)))),
+    giving an acceptance region that is exact in exponential order as
+    the system grows with fixed utilization — complementary to the
+    paper's heavy-traffic (Gaussian) regime. *)
+
+type log_mgf = float -> float
+(** theta -> log E[e^{theta X}] of one flow's stationary bandwidth. *)
+
+val gaussian_log_mgf : mu:float -> sigma:float -> log_mgf
+(** theta mu + theta^2 sigma^2 / 2. *)
+
+val onoff_log_mgf : peak:float -> p_on:float -> log_mgf
+(** log(1 - p + p e^{theta peak}). *)
+
+val chernoff_exponent : log_mgf:log_mgf -> m:float -> capacity:float -> float
+(** sup_{theta >= 0} (theta c - m Lambda(theta)), located numerically
+    (0 when the mean load already exceeds capacity).
+    @raise Invalid_argument if [m <= 0] or [capacity <= 0]. *)
+
+val chernoff_overflow_bound :
+  log_mgf:log_mgf -> m:float -> capacity:float -> float
+(** exp(-chernoff_exponent): upper bound on P(S_m > c). *)
+
+val admissible :
+  log_mgf:log_mgf -> capacity:float -> p_target:float -> int
+(** Largest integer [m] whose Chernoff bound meets [p_target]
+    (binary search; the bound is monotone in m). *)
+
+val gaussian_alpha_of_p : float -> float
+(** For the Gaussian log-MGF the Chernoff criterion reduces to the
+    paper's criterion with alpha replaced by sqrt(2 ln(1/p)) — always
+    larger than Q^{-1}(p), i.e. Chernoff is uniformly more conservative.
+    This returns that sqrt(2 ln(1/p)). *)

@@ -1,0 +1,216 @@
+type estimate = { mu_hat : float; var_hat : float }
+
+type t = {
+  name : string;
+  observe : Observation.t -> unit;
+  current : unit -> estimate option;
+  reset : unit -> unit;
+}
+
+let name t = t.name
+let observe t obs = t.observe obs
+let current t = t.current ()
+let reset t = t.reset ()
+
+let memoryless () =
+  let last = ref None in
+  {
+    name = "memoryless";
+    observe =
+      (fun obs -> if obs.Observation.n >= 1 then last := Some obs);
+    current =
+      (fun () ->
+        Option.map
+          (fun obs ->
+            { mu_hat = Observation.cross_mean obs;
+              var_hat = Observation.cross_variance obs })
+          !last);
+    reset = (fun () -> last := None);
+  }
+
+(* Exact advance of the first-order filter over a piecewise-constant input:
+   while the input holds value [x], est(t + dt) = x + (est(t) - x) e^{-dt/Tm}. *)
+type ewma_state = {
+  mutable initialized : bool;
+  mutable last_time : float;
+  mutable in_mu : float;  (* input signal value held since last_time *)
+  mutable in_var : float;
+  mutable est_mu : float;
+  mutable est_var : float;
+}
+
+let ewma ~t_m =
+  if t_m < 0.0 then invalid_arg "Estimator.ewma: requires t_m >= 0";
+  if t_m = 0.0 then { (memoryless ()) with name = "ewma(0)" }
+  else begin
+    let s =
+      { initialized = false; last_time = 0.0; in_mu = 0.0; in_var = 0.0;
+        est_mu = 0.0; est_var = 0.0 }
+    in
+    let observe obs =
+      if obs.Observation.n >= 1 then begin
+        let x = Observation.cross_mean obs in
+        let v = Observation.cross_variance obs in
+        if not s.initialized then begin
+          s.initialized <- true;
+          s.est_mu <- x;
+          s.est_var <- v
+        end
+        else begin
+          let dt = obs.Observation.now -. s.last_time in
+          if dt > 0.0 then begin
+            let decay = exp (-.dt /. t_m) in
+            s.est_mu <- s.in_mu +. ((s.est_mu -. s.in_mu) *. decay);
+            s.est_var <- s.in_var +. ((s.est_var -. s.in_var) *. decay)
+          end
+        end;
+        s.last_time <- obs.Observation.now;
+        s.in_mu <- x;
+        s.in_var <- v
+      end
+    in
+    let current () =
+      if s.initialized then
+        Some { mu_hat = s.est_mu; var_hat = Float.max 0.0 s.est_var }
+      else None
+    in
+    let reset () = s.initialized <- false in
+    { name = Printf.sprintf "ewma(T_m=%g)" t_m; observe; current; reset }
+  end
+
+(* Sliding time window: a FIFO of constant-signal segments plus running
+   integrals; old segments are evicted (with partial trimming) as the
+   window slides. *)
+type segment = { t0 : float; t1 : float; x : float; v : float }
+
+type window_state = {
+  mutable have_input : bool;
+  mutable last_time : float;
+  mutable in_mu : float;
+  mutable in_var : float;
+  segs : segment Queue.t;
+  mutable int_mu : float;  (* integral of x over the stored segments *)
+  mutable int_var : float;
+  mutable covered : float; (* total stored duration *)
+}
+
+let sliding_window ~t_w =
+  if t_w <= 0.0 then invalid_arg "Estimator.sliding_window: requires t_w > 0";
+  let s =
+    { have_input = false; last_time = 0.0; in_mu = 0.0; in_var = 0.0;
+      segs = Queue.create (); int_mu = 0.0; int_var = 0.0; covered = 0.0 }
+  in
+  let evict ~now =
+    let cutoff = now -. t_w in
+    let continue = ref true in
+    while !continue && not (Queue.is_empty s.segs) do
+      let seg = Queue.peek s.segs in
+      if seg.t1 <= cutoff then begin
+        ignore (Queue.pop s.segs);
+        let d = seg.t1 -. seg.t0 in
+        s.int_mu <- s.int_mu -. (d *. seg.x);
+        s.int_var <- s.int_var -. (d *. seg.v);
+        s.covered <- s.covered -. d
+      end
+      else if seg.t0 < cutoff then begin
+        (* trim the head segment to start at the cutoff *)
+        ignore (Queue.pop s.segs);
+        let trimmed = cutoff -. seg.t0 in
+        s.int_mu <- s.int_mu -. (trimmed *. seg.x);
+        s.int_var <- s.int_var -. (trimmed *. seg.v);
+        s.covered <- s.covered -. trimmed;
+        (* push back the rest at the queue front: rebuild the queue *)
+        let rest = { seg with t0 = cutoff } in
+        let tmp = Queue.create () in
+        Queue.push rest tmp;
+        Queue.transfer s.segs tmp;
+        Queue.transfer tmp s.segs;
+        continue := false
+      end
+      else continue := false
+    done
+  in
+  let observe obs =
+    if obs.Observation.n >= 1 then begin
+      let now = obs.Observation.now in
+      if s.have_input && now > s.last_time then begin
+        let seg = { t0 = s.last_time; t1 = now; x = s.in_mu; v = s.in_var } in
+        Queue.push seg s.segs;
+        let d = now -. s.last_time in
+        s.int_mu <- s.int_mu +. (d *. seg.x);
+        s.int_var <- s.int_var +. (d *. seg.v);
+        s.covered <- s.covered +. d
+      end;
+      evict ~now;
+      s.have_input <- true;
+      s.last_time <- now;
+      s.in_mu <- Observation.cross_mean obs;
+      s.in_var <- Observation.cross_variance obs
+    end
+  in
+  let current () =
+    if not s.have_input then None
+    else if s.covered <= 0.0 then
+      Some { mu_hat = s.in_mu; var_hat = Float.max 0.0 s.in_var }
+    else
+      Some
+        { mu_hat = s.int_mu /. s.covered;
+          var_hat = Float.max 0.0 (s.int_var /. s.covered) }
+  in
+  let reset () =
+    s.have_input <- false;
+    Queue.clear s.segs;
+    s.int_mu <- 0.0;
+    s.int_var <- 0.0;
+    s.covered <- 0.0
+  in
+  { name = Printf.sprintf "window(T_w=%g)" t_w; observe; current; reset }
+
+(* Aggregate-only estimation (§7): the controller sees the aggregate rate
+   and the flow count but not per-flow rates.  The per-flow mean follows
+   directly; the per-flow variance is recovered from the *temporal*
+   fluctuation of the per-flow average x = S/n, since for n independent
+   homogeneous flows Var_time(x) = sigma^2 / n. *)
+type aggregate_state = {
+  mutable init : bool;
+  mutable t_last : float;
+  mutable in_x : float;
+  mutable m1 : float; (* filtered x *)
+  mutable m2 : float; (* filtered x^2 *)
+  mutable last_n : int;
+}
+
+let aggregate_only ~t_m =
+  if t_m <= 0.0 then invalid_arg "Estimator.aggregate_only: requires t_m > 0";
+  let s = { init = false; t_last = 0.0; in_x = 0.0; m1 = 0.0; m2 = 0.0; last_n = 0 } in
+  let observe obs =
+    if obs.Observation.n >= 1 then begin
+      let x = Observation.cross_mean obs in
+      if not s.init then begin
+        s.init <- true;
+        s.m1 <- x;
+        s.m2 <- x *. x
+      end
+      else begin
+        let dt = obs.Observation.now -. s.t_last in
+        if dt > 0.0 then begin
+          let decay = exp (-.dt /. t_m) in
+          s.m1 <- s.in_x +. ((s.m1 -. s.in_x) *. decay);
+          s.m2 <- (s.in_x *. s.in_x) +. ((s.m2 -. (s.in_x *. s.in_x)) *. decay)
+        end
+      end;
+      s.t_last <- obs.Observation.now;
+      s.in_x <- x;
+      s.last_n <- obs.Observation.n
+    end
+  in
+  let current () =
+    if not s.init then None
+    else
+      let var_of_x = Float.max 0.0 (s.m2 -. (s.m1 *. s.m1)) in
+      Some
+        { mu_hat = s.m1;
+          var_hat = float_of_int s.last_n *. var_of_x }
+  in
+  let reset () = s.init <- false in
+  { name = Printf.sprintf "aggregate(T_m=%g)" t_m; observe; current; reset }

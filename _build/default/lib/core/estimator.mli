@@ -1,0 +1,47 @@
+(** Traffic-parameter estimators (§3 eqn (7), §4.1 eqn (23), §4.3).
+
+    An estimator consumes the stream of {!Observation.t} cross-sections
+    produced by the system (one per state-change event) and maintains an
+    estimate of the per-flow mean and variance.  The controllers plug an
+    estimator into the certainty-equivalent admission criterion. *)
+
+type estimate = {
+  mu_hat : float;   (** estimated per-flow mean bandwidth *)
+  var_hat : float;  (** estimated per-flow bandwidth variance (>= 0) *)
+}
+
+type t
+
+val name : t -> string
+val observe : t -> Observation.t -> unit
+val current : t -> estimate option
+(** [None] until enough data has been seen (e.g. no observation yet, or
+    fewer than 2 flows ever observed). *)
+
+val reset : t -> unit
+
+val memoryless : unit -> t
+(** The paper's memoryless estimator (eqns (7)/(23)): the estimate is the
+    cross-sectional mean/variance of the {e latest} observation. *)
+
+val ewma : t_m:float -> t
+(** First-order auto-regressive (exponentially weighted) filter with
+    impulse response h(t) = (1/T_m) exp(-t/T_m) (§4.3), applied to the
+    cross-sectional mean and variance signals.  The input signal is
+    piecewise constant between observations, so the filter is advanced
+    {e exactly}: est <- x_prev + (est - x_prev) exp(-dt/T_m).
+    [t_m = 0.] degenerates to {!memoryless}.
+    @raise Invalid_argument if [t_m < 0]. *)
+
+val sliding_window : t_w:float -> t
+(** Time-weighted average of the cross-sectional signals over the window
+    [now - t_w, now] (a rectangular impulse response, the "measurement
+    window" of Jamin et al. discussed in §6).
+    @raise Invalid_argument if [t_w <= 0]. *)
+
+val aggregate_only : t_m:float -> t
+(** Estimator that may use only the {e aggregate} rate, not per-flow
+    rates (the practical constraint discussed in §7).  The mean is the
+    filtered aggregate divided by the flow count; the per-flow variance
+    is inferred from the temporal fluctuation of the aggregate:
+    Var_time(S) ~ n sigma^2 for independent homogeneous flows. *)

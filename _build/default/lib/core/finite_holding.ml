@@ -1,0 +1,31 @@
+let overflow_probability_at p ~rho t =
+  if t < 0.0 then invalid_arg "Finite_holding: requires t >= 0";
+  let open Params in
+  let r = rho t in
+  let denom_sq = 2.0 *. (1.0 -. r) in
+  if denom_sq <= 0.0 then 0.0
+  else begin
+    let drift = p.mu /. p.sigma *. (t /. t_h_tilde p) in
+    Mbac_stats.Gaussian.q ((drift +. alpha_q p) /. sqrt denom_sq)
+  end
+
+let overflow_probability_at_ou p t =
+  overflow_probability_at p ~rho:(fun s -> exp (-.s /. p.Params.t_c)) t
+
+let peak_time_ou p =
+  (* Unimodal in t: golden-section search over a generous bracket.  The
+     hump lives between 0 and a few critical time-scales. *)
+  let f t = overflow_probability_at_ou p t in
+  let lo = 0.0 and hi = 10.0 *. Float.max (Params.t_h_tilde p) p.Params.t_c in
+  let phi_golden = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec go a b k =
+    if k = 0 then 0.5 *. (a +. b)
+    else begin
+      let x1 = b -. (phi_golden *. (b -. a)) in
+      let x2 = a +. (phi_golden *. (b -. a)) in
+      if f x1 < f x2 then go x1 b (k - 1) else go a x2 (k - 1)
+    end
+  in
+  go lo hi 80
+
+let peak_overflow_ou p = overflow_probability_at_ou p (peak_time_ou p)

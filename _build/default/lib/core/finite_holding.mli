@@ -1,0 +1,26 @@
+(** Impulsive load with finite (exponential) holding times (§3.2).
+
+    After the burst admission at time 0, flows depart at rate 1/T_h; the
+    overflow probability at time t combines the admission error (Y_0),
+    the bandwidth fluctuation (Y_t, correlated with Y_0 through rho), and
+    the departures-driven drift. *)
+
+val overflow_probability_at :
+  Params.t -> rho:(float -> float) -> float -> float
+(** Eqn (21):
+    p_f(t) = Q( ((mu/sigma) (t/T~_h) + alpha_q) / sqrt(2 (1 - rho t)) ).
+    Returns 0 at [t = 0] (the admission instant satisfies the criterion
+    exactly, and rho(0) = 1 makes the argument infinite). *)
+
+val overflow_probability_at_ou : Params.t -> float -> float
+(** {!overflow_probability_at} specialised to the exponential
+    autocorrelation rho(t) = exp(-t/T_c) (eqn (31)). *)
+
+val peak_time_ou : Params.t -> float
+(** The time at which eqn (21) peaks for the OU autocorrelation, located
+    numerically.  The overflow hazard is maximal a little after the
+    admission burst: early times are protected by correlation, late times
+    by departures. *)
+
+val peak_overflow_ou : Params.t -> float
+(** p_f at {!peak_time_ou}. *)

@@ -1,0 +1,21 @@
+let max_gaussian_arg = 38.0 (* phi underflows just past here *)
+
+let probability ~alpha ~beta ~incr_variance ~v_plus0 =
+  if beta <= 0.0 then invalid_arg "Hitting.probability: requires beta > 0";
+  if v_plus0 < 0.0 then invalid_arg "Hitting.probability: requires v_plus0 >= 0";
+  let integrand t =
+    let s2 = incr_variance t in
+    if s2 <= 0.0 then 0.0
+    else begin
+      let s = sqrt s2 in
+      let z = (alpha +. (beta *. t)) /. s in
+      if z > max_gaussian_arg then 0.0
+      else v_plus0 *. (alpha +. (beta *. t)) /. (s2 *. s) *. Mbac_stats.Gaussian.phi z
+    end
+  in
+  0.5 *. Mbac_numerics.Integrate.semi_infinite ~rel_tol:1e-9 integrand ~lo:0.0
+
+let probability_stationary ~alpha ~beta ~rho ~rho_slope0 =
+  probability ~alpha ~beta
+    ~incr_variance:(fun t -> 2.0 *. (1.0 -. rho t))
+    ~v_plus0:(2.0 *. rho_slope0)

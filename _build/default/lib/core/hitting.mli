@@ -1,0 +1,27 @@
+(** Braker's approximation for the hitting probability of a Gaussian
+    process on a moving boundary (§4.2, eqn (30)):
+
+    Pr( sup_{t>=0} (X_t - beta t) > alpha )
+      ~ 1/2 int_0^inf v (alpha + beta t) / s(t)^3 phi((alpha + beta t)/s(t)) dt
+
+    where s^2(t) = E[(X_t - X_0)^2] is the incremental variance of the
+    process and v = d s^2 / dt at 0+.  Valid as alpha -> infinity. *)
+
+val probability :
+  alpha:float ->
+  beta:float ->
+  incr_variance:(float -> float) ->
+  v_plus0:float ->
+  float
+(** General form.  [incr_variance t] must be s^2(t) >= 0 with s^2(0) = 0;
+    [v_plus0] its right derivative at 0.  The integrand is evaluated in a
+    numerically safe way (0 when the Gaussian argument exceeds ~38 or
+    when s(t) vanishes).
+    @raise Invalid_argument if [beta <= 0] or [v_plus0 < 0]. *)
+
+val probability_stationary :
+  alpha:float -> beta:float -> rho:(float -> float) -> rho_slope0:float ->
+  float
+(** Specialisation to X_t = Y_{-t} - Y_0 for a stationary unit-variance
+    process Y with autocorrelation [rho]: s^2(t) = 2 (1 - rho t) and
+    v = -2 rho'(0+) = [2 *. rho_slope0] with [rho_slope0 = -rho'(0+)]. *)

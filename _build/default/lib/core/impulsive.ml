@@ -1,0 +1,53 @@
+let sqrt_pi = sqrt (4.0 *. atan 1.0)
+
+let admitted_mean_approx p =
+  let open Params in
+  p.n -. (p.sigma /. p.mu *. alpha_q p *. sqrt p.n)
+
+let admitted_std_approx p =
+  let open Params in
+  p.sigma /. p.mu *. sqrt p.n
+
+let overflow_probability p =
+  Mbac_stats.Gaussian.q (Params.alpha_q p /. sqrt 2.0)
+
+let adjusted_p_ce p = Mbac_stats.Gaussian.q (sqrt 2.0 *. Params.alpha_q p)
+
+(* Q(sqrt2 alpha) expanded with Q(x) ~ phi(x)/x gives
+   p_ce ~ sqrt(pi) alpha_q p_q^2.  (The memo prints the prefactor as
+   alpha_q / (2 sqrt pi), which drops a factor of 2 pi relative to this
+   expansion; the exact eqn (15) value is what the controllers use, the
+   approximation exists only to exhibit the p_q^2 scaling.) *)
+let adjusted_p_ce_approx p =
+  let open Params in
+  sqrt_pi *. alpha_q p *. p.p_q *. p.p_q
+
+let utilization_loss p =
+  let open Params in
+  (sqrt 2.0 -. 1.0) *. p.sigma *. alpha_q p *. sqrt p.n
+
+let sensitivity_mu p =
+  let open Params in
+  let alpha = alpha_q p in
+  -.(Mbac_stats.Gaussian.phi alpha *. p.mu /. p.sigma)
+  *. sqrt (Criterion.m_star_real p)
+
+let sensitivity_sigma p =
+  let open Params in
+  let alpha = alpha_q p in
+  -.(alpha *. Mbac_stats.Gaussian.phi alpha /. p.sigma)
+
+let predicted_p_f_shift p ~d_mu ~d_sigma =
+  p.Params.p_q +. (sensitivity_mu p *. d_mu) +. (sensitivity_sigma p *. d_sigma)
+
+let actual_p_f_given_error p ~d_mu ~d_sigma =
+  let open Params in
+  let capacity = capacity p in
+  let mu_hat = p.mu +. d_mu and sigma_hat = p.sigma +. d_sigma in
+  if mu_hat <= 0.0 || sigma_hat < 0.0 then
+    invalid_arg "Impulsive.actual_p_f_given_error: deviated estimates invalid";
+  let m =
+    Criterion.admissible_real ~capacity ~mu:mu_hat ~sigma:sigma_hat
+      ~alpha:(alpha_q p)
+  in
+  Criterion.overflow_probability ~capacity ~mu:p.mu ~sigma:p.sigma ~m

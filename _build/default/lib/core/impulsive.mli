@@ -1,0 +1,51 @@
+(** Impulsive-load analysis with infinite holding time (§3.1).
+
+    A burst of flows arrives at time 0; the certainty-equivalent MBAC
+    admits M_0 of them based on the initial rates; nobody ever leaves. *)
+
+val admitted_mean_approx : Params.t -> float
+(** E[M_0] ~ n - (sigma/mu) alpha_q sqrt n (from eqn (11): E[Y_0] = 0). *)
+
+val admitted_std_approx : Params.t -> float
+(** Std[M_0] ~ (sigma/mu) sqrt n (eqn (11): the Y_0 fluctuation). *)
+
+val overflow_probability : Params.t -> float
+(** The certainty-equivalence penalty, Prop 3.3:
+    p_f -> Q(alpha_q / sqrt 2) as n -> infinity.  Independent of every
+    traffic parameter except p_q. *)
+
+val adjusted_p_ce : Params.t -> float
+(** The corrected target of eqn (15): run the CE criterion at
+    p_ce = Q(sqrt 2 alpha_q) to actually deliver p_q. *)
+
+val adjusted_p_ce_approx : Params.t -> float
+(** Closed-form approximation p_ce ~ sqrt(pi) alpha_q p_q^2, exhibiting
+    the paper's point that the adjusted target is roughly the {e square}
+    of the QoS target.  (Derived from eqn (15) with Q(x) ~ phi(x)/x; the
+    memo's printed prefactor alpha_q/(2 sqrt pi) drops a factor 2 pi.) *)
+
+val utilization_loss : Params.t -> float
+(** Bandwidth sacrificed by running at the adjusted target instead of the
+    perfect-knowledge allocation: (sqrt 2 - 1) sigma alpha_q sqrt n
+    (§3.1). *)
+
+val sensitivity_mu : Params.t -> float
+(** s_mu = - phi(alpha_q) (mu / sigma) sqrt m*: sensitivity of p_f to an
+    error in the measured mean — grows like sqrt n (§3.1). *)
+
+val sensitivity_sigma : Params.t -> float
+(** s_sigma = - alpha_q phi(alpha_q) / sigma: independent of system size
+    (§3.1). *)
+
+val predicted_p_f_shift : Params.t -> d_mu:float -> d_sigma:float -> float
+(** First-order §3.1 prediction of the overflow probability when the
+    measured parameters deviate by (d_mu, d_sigma) from the truth:
+    p_q + s_mu d_mu + s_sigma d_sigma.  Over-estimation (positive
+    deviations) lowers p_f, under-estimation raises it — the asymmetry
+    discussed after Prop 3.3 appears at second order. *)
+
+val actual_p_f_given_error : Params.t -> d_mu:float -> d_sigma:float -> float
+(** Exact counterpart of {!predicted_p_f_shift}: admit
+    m(mu_hat, sigma_hat) flows per the certainty-equivalent criterion at
+    the deviated estimates, then evaluate the true Gaussian overflow
+    probability of that population. *)

@@ -1,0 +1,33 @@
+type formula = General | Closed_form
+
+let alpha_max = 37.0 (* Q(37) is at the edge of the IEEE double range *)
+
+let eval formula ~p ~t_m ~alpha_ce =
+  match formula with
+  | General -> Memory_formula.overflow ~p ~t_m ~alpha_ce
+  | Closed_form -> Memory_formula.overflow_closed_form ~p ~t_m ~alpha_ce
+
+let adjusted_alpha_ce ?(formula = Closed_form) ~t_m p =
+  let target = p.Params.p_q in
+  let f alpha = eval formula ~p ~t_m ~alpha_ce:alpha in
+  if f 0.0 <= target then 0.0
+  else if f alpha_max >= target then alpha_max
+  else begin
+    (* Monotone decreasing; invert in log space (p_f spans many decades). *)
+    let g alpha =
+      let v = f alpha in
+      if v <= 0.0 then -.1e9 else log v
+    in
+    Mbac_numerics.Roots.brent ~tol:1e-10
+      (fun alpha -> g alpha -. log target)
+      ~lo:0.0 ~hi:alpha_max
+  end
+
+let adjusted_p_ce ?formula ~t_m p =
+  Mbac_stats.Gaussian.q (adjusted_alpha_ce ?formula ~t_m p)
+
+let adjusted_log_p_ce ?formula ~t_m p =
+  Mbac_stats.Gaussian.log_q (adjusted_alpha_ce ?formula ~t_m p)
+
+let achieved_overflow ?(formula = Closed_form) ~t_m p =
+  eval formula ~p ~t_m ~alpha_ce:(adjusted_alpha_ce ~formula ~t_m p)

@@ -1,0 +1,31 @@
+(** Inverting the overflow formula to obtain the adjusted
+    certainty-equivalent target (§5.2, Figure 6).
+
+    Given the system parameters, the estimator memory [t_m] and the QoS
+    target [p_q], find the [p_ce] at which the controller must run so
+    that the {e actual} overflow probability equals [p_q].  The overflow
+    formula is strictly decreasing in alpha_ce, so this is a 1-D monotone
+    inversion (done in log-probability space for stability: the adjusted
+    p_ce can be astronomically small for short memories — Fig 6 shows
+    values below 1e-10 already at moderate T_m). *)
+
+type formula = General | Closed_form
+(** Invert eqn (37) (numerical integral) or eqn (38) (closed form). *)
+
+val adjusted_alpha_ce : ?formula:formula -> t_m:float -> Params.t -> float
+(** The alpha_ce = Q^{-1}(p_ce) solving overflow(alpha_ce) = p_q,
+    clamped to [0, 37] (at 37 the implied p_ce underflows IEEE range —
+    in that regime the scheme cannot meet the target at all and the
+    caller should enlarge [t_m]).  Default formula: [Closed_form]
+    (what the paper inverts for Figs 6–7). *)
+
+val adjusted_p_ce : ?formula:formula -> t_m:float -> Params.t -> float
+(** Q(adjusted_alpha_ce); may underflow to 0.0 — use
+    {!adjusted_log_p_ce} when you need the magnitude. *)
+
+val adjusted_log_p_ce : ?formula:formula -> t_m:float -> Params.t -> float
+(** Natural log of the adjusted p_ce, computed without underflow. *)
+
+val achieved_overflow : ?formula:formula -> t_m:float -> Params.t -> float
+(** Round-trip check: the overflow formula evaluated at the adjusted
+    alpha_ce (should be ~ p_q whenever no clamping occurred). *)

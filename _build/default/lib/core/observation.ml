@@ -1,0 +1,18 @@
+type t = { now : float; n : int; sum_rate : float; sum_sq : float }
+
+let make ~now ~n ~sum_rate ~sum_sq =
+  if n < 0 then invalid_arg "Observation.make: negative flow count";
+  if n = 0 && (sum_rate <> 0.0 || sum_sq <> 0.0) then
+    invalid_arg "Observation.make: nonzero sums with zero flows";
+  { now; n; sum_rate; sum_sq }
+
+let cross_mean t = if t.n = 0 then nan else t.sum_rate /. float_of_int t.n
+
+let cross_variance t =
+  if t.n < 2 then 0.0
+  else begin
+    let nf = float_of_int t.n in
+    let mean = t.sum_rate /. nf in
+    let v = (t.sum_sq -. (nf *. mean *. mean)) /. (nf -. 1.0) in
+    Float.max 0.0 v
+  end

@@ -1,0 +1,39 @@
+type t = {
+  n : float;
+  mu : float;
+  sigma : float;
+  t_h : float;
+  t_c : float;
+  p_q : float;
+}
+
+let make ~n ~mu ~sigma ~t_h ~t_c ~p_q =
+  if n <= 0.0 then invalid_arg "Params.make: requires n > 0";
+  if mu <= 0.0 then invalid_arg "Params.make: requires mu > 0";
+  if sigma < 0.0 then invalid_arg "Params.make: requires sigma >= 0";
+  if t_h <= 0.0 then invalid_arg "Params.make: requires t_h > 0";
+  if t_c <= 0.0 then invalid_arg "Params.make: requires t_c > 0";
+  if not (p_q > 0.0 && p_q <= 0.5) then
+    invalid_arg "Params.make: requires 0 < p_q <= 0.5";
+  { n; mu; sigma; t_h; t_c; p_q }
+
+let capacity t = t.n *. t.mu
+let alpha_q t = Mbac_stats.Gaussian.q_inv t.p_q
+let t_h_tilde t = t.t_h /. sqrt t.n
+
+let beta t =
+  if t.sigma = 0.0 then infinity else t.mu /. (t.sigma *. t_h_tilde t)
+
+let gamma t = t_h_tilde t /. t.t_c *. (t.sigma /. t.mu)
+
+let with_p_q t p_q =
+  if not (p_q > 0.0 && p_q <= 0.5) then
+    invalid_arg "Params.with_p_q: requires 0 < p_q <= 0.5";
+  { t with p_q }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{ n=%g; mu=%g; sigma=%g; T_h=%g; T_c=%g; p_q=%.3g | c=%g alpha_q=%.4g \
+     T~_h=%.4g gamma=%.4g }"
+    t.n t.mu t.sigma t.t_h t.t_c t.p_q (capacity t) (alpha_q t) (t_h_tilde t)
+    (gamma t)

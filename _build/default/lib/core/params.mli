@@ -1,0 +1,39 @@
+(** System parameters of the paper's model and the derived quantities that
+    appear throughout the analysis (§2–§4). *)
+
+type t = {
+  n : float;      (** normalized capacity (system size), n = c / mu *)
+  mu : float;     (** per-flow mean bandwidth *)
+  sigma : float;  (** per-flow bandwidth standard deviation *)
+  t_h : float;    (** mean flow holding time T_h *)
+  t_c : float;    (** traffic correlation time-scale T_c (eqn (31)) *)
+  p_q : float;    (** target (QoS) overflow probability *)
+}
+
+val make :
+  n:float -> mu:float -> sigma:float -> t_h:float -> t_c:float -> p_q:float ->
+  t
+(** @raise Invalid_argument on non-positive [n], [mu], [t_h], [t_c],
+    negative [sigma], or [p_q] outside (0, 0.5]. *)
+
+val capacity : t -> float
+(** Link capacity c = n mu. *)
+
+val alpha_q : t -> float
+(** alpha_q = Q^{-1}(p_q). *)
+
+val t_h_tilde : t -> float
+(** The critical time-scale T~_h = T_h / sqrt n (§3.2). *)
+
+val beta : t -> float
+(** beta = mu / (sigma T~_h) (eqn (28)); [infinity] when sigma = 0. *)
+
+val gamma : t -> float
+(** gamma = 1 / (beta T_c) = (T~_h / T_c)(sigma / mu) — the flow/burst
+    time-scale separation (§4.2). *)
+
+val with_p_q : t -> float -> t
+(** Same system, different target overflow probability (used when running
+    the controller at an adjusted certainty-equivalent target p_ce). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+let masking_overflow p =
+  let open Params in
+  ((p.sigma *. alpha_q p /. p.mu) +. 1.0) *. p.p_q
+
+let repair_overflow p =
+  let open Params in
+  let ratio = t_h_tilde p /. p.t_c in
+  let z = alpha_q p *. sqrt (1.0 /. ratio) in
+  if z > 38.0 then 0.0
+  else p.sigma /. p.mu *. sqrt ratio *. Mbac_stats.Gaussian.phi z
+
+let repair_overflow_paper p =
+  let open Params in
+  let r = p.t_c /. t_h_tilde p in
+  let expo = -.(r *. r) *. alpha_q p *. alpha_q p in
+  if expo < -700.0 then 0.0
+  else 1.0 /. sqrt (8.0 *. atan 1.0) *. r *. (p.sigma /. p.mu) *. exp expo
+
+let regime p ~t_m =
+  ignore t_m;
+  let ratio = p.Params.t_c /. Params.t_h_tilde p in
+  if ratio <= 0.25 then `Masking
+  else if ratio >= 4.0 then `Repair
+  else `Transition

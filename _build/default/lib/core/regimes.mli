@@ -1,0 +1,26 @@
+(** The two operating regimes of an MBAC with memory window
+    T_m = T~_h (§5.3, Figure 8). *)
+
+val masking_overflow : Params.t -> float
+(** The masking regime (T_c << T~_h = T_m): eqn (41),
+    p_f ~ ((sigma alpha_q / mu) + 1) p_q.  The memory window smooths the
+    traffic fluctuations; the detailed correlation structure is
+    irrelevant. *)
+
+val repair_overflow : Params.t -> float
+(** The repair regime (T_c >> T~_h): estimator fluctuations are slower
+    than the critical time-scale, so departures repair admission errors
+    before they can cause overflow.  Derived by substituting
+    sigma_m^2 ~ T_m/(T_c + T_m) into eqn (37) with T_m = T~_h:
+    p_f ~ (sigma/mu) sqrt(T~_h/T_c) phi(alpha_q sqrt(T_c/T~_h)). *)
+
+val repair_overflow_paper : Params.t -> float
+(** The closed form exactly as printed in the paper (§5.3):
+    p_f ~ (1/sqrt(2 pi)) (T_c/T~_h) (sigma/mu)
+          exp(-(T_c/T~_h)^2 alpha_q^2).
+    Kept verbatim for comparison; both forms vanish extremely fast in the
+    repair regime. *)
+
+val regime : Params.t -> t_m:float -> [ `Masking | `Repair | `Transition ]
+(** Coarse classification by the ratio T_c / T~_h (masking below 1/4,
+    repair above 4). *)

@@ -1,0 +1,24 @@
+type t = Step | Linear | Power of float | Threshold of float
+
+let eval u f =
+  let f = Float.max 0.0 (Float.min 1.0 f) in
+  match u with
+  | Step -> if f >= 1.0 then 1.0 else 0.0
+  | Linear -> f
+  | Power theta ->
+      if theta <= 0.0 then invalid_arg "Utility.eval: Power requires theta > 0"
+      else f ** theta
+  | Threshold thr ->
+      if thr <= 0.0 || thr > 1.0 then
+        invalid_arg "Utility.eval: Threshold requires 0 < threshold <= 1"
+      else if f >= thr then 1.0
+      else f /. thr
+
+let delivered_fraction ~capacity ~load =
+  if load <= 0.0 then 1.0 else Float.min 1.0 (capacity /. load)
+
+let name = function
+  | Step -> "step"
+  | Linear -> "linear"
+  | Power theta -> Printf.sprintf "power(%g)" theta
+  | Threshold thr -> Printf.sprintf "threshold(%g)" thr

@@ -1,0 +1,29 @@
+(** Utility-based QoS (§7 future work, after Shenker): instead of the
+    binary overflow indicator, score each instant by a utility of the
+    {e delivered bandwidth fraction} — during overload a flow receives
+    min(1, c/S) of its demand (proportional sharing), and an adaptive
+    application derives partial value from partial bandwidth. *)
+
+type t =
+  | Step
+      (** 1 if the full demand is met, 0 otherwise — reproduces the
+          paper's overflow metric: E[u] = 1 - p_f. *)
+  | Linear
+      (** u(f) = f: throughput-proportional (fully elastic). *)
+  | Power of float
+      (** u(f) = f^theta, theta > 0: concave for theta < 1 (adaptive
+          applications that degrade gracefully). *)
+  | Threshold of float
+      (** u(f) = 1 if f >= threshold else f / threshold: tolerates small
+          degradation, linear below. *)
+
+val eval : t -> float -> float
+(** [eval u f] for a delivered fraction [f] clamped into [0, 1].
+    All utilities map [0,1] -> [0,1] with u(1) = 1.
+    @raise Invalid_argument for non-positive [Power]/[Threshold]
+    parameters. *)
+
+val delivered_fraction : capacity:float -> load:float -> float
+(** min(1, capacity/load); 1 when the load is 0. *)
+
+val name : t -> string

@@ -1,0 +1,20 @@
+let recommended_t_m p = Params.t_h_tilde p
+
+let robustness_profile p ~t_m ~t_cs =
+  Array.map
+    (fun t_c ->
+      let p' = Params.make ~n:p.Params.n ~mu:p.Params.mu ~sigma:p.Params.sigma
+          ~t_h:p.Params.t_h ~t_c ~p_q:p.Params.p_q
+      in
+      let pf = Memory_formula.overflow ~p:p' ~t_m ~alpha_ce:(Params.alpha_q p') in
+      (t_c, pf))
+    t_cs
+
+let worst_case_overflow p ~t_m ~t_cs =
+  Array.fold_left
+    (fun acc (_, pf) -> Float.max acc pf)
+    0.0
+    (robustness_profile p ~t_m ~t_cs)
+
+let is_robust ?(tolerance_factor = 10.0) p ~t_m ~t_cs =
+  worst_case_overflow p ~t_m ~t_cs <= tolerance_factor *. p.Params.p_q

@@ -1,0 +1,25 @@
+(** Memory-window selection (§5.3): the paper's engineering rule is to set
+    the estimator memory to the critical time-scale, T_m = T~_h, which
+    makes the MBAC robust across the whole range of (unknown) traffic
+    correlation time-scales — masking fast traffic, repairing slow
+    traffic. *)
+
+val recommended_t_m : Params.t -> float
+(** T_m = T~_h = T_h / sqrt n. *)
+
+val robustness_profile :
+  Params.t -> t_m:float -> t_cs:float array -> (float * float) array
+(** For each candidate correlation time-scale, the predicted overflow
+    probability (eqn (37)) when the controller runs memory [t_m] at the
+    {e unadjusted} target p_q.  [(t_c, p_f)] pairs.  A robust choice keeps
+    p_f within a small factor of p_q everywhere (Figure 9's message). *)
+
+val worst_case_overflow :
+  Params.t -> t_m:float -> t_cs:float array -> float
+(** max over the profile. *)
+
+val is_robust :
+  ?tolerance_factor:float -> Params.t -> t_m:float -> t_cs:float array -> bool
+(** Whether the worst-case overflow stays below
+    [tolerance_factor *. p_q] (default factor 10 — "within an order of
+    magnitude", the paper's robustness yardstick in Figs 9–12). *)

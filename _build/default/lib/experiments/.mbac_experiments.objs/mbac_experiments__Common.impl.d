@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Filename Float Format Hashtbl List Mbac Mbac_sim Mbac_stats Mbac_traffic Printf String Sys

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Format Mbac Mbac_sim Mbac_stats Mbac_traffic

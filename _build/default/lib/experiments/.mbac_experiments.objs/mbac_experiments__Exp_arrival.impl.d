@@ -1,0 +1,1 @@
+lib/experiments/exp_arrival.ml: Common Exp_fig5 Float Format List Mbac Mbac_sim Printf

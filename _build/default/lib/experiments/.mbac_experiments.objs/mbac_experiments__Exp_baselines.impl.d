@@ -1,0 +1,1 @@
+lib/experiments/exp_baselines.ml: Common Exp_fig5 Format List Mbac Mbac_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_eqn21.ml: Array Common Format List Mbac Mbac_sim

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Array Common Exp_fig9 Format List Mbac Mbac_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Common Format List Mbac Mbac_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Common Format List Mbac Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Common Exp_fig5 Float Format List Mbac Mbac_sim Mbac_stats Printf

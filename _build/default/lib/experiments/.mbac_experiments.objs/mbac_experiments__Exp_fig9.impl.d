@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Array Common Format List Mbac

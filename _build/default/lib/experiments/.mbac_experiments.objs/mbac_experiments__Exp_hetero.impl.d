@@ -1,0 +1,1 @@
+lib/experiments/exp_hetero.ml: Common Format List Mbac Mbac_sim Mbac_stats Mbac_traffic Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_nonstat.ml: Array Common Format List Mbac Mbac_sim Mbac_traffic Printf

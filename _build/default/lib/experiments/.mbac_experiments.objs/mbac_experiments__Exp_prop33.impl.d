@@ -1,0 +1,1 @@
+lib/experiments/exp_prop33.ml: Array Common Format List Mbac Mbac_sim Mbac_stats Mbac_traffic Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_regimes.ml: Common Format List Mbac

@@ -1,0 +1,1 @@
+lib/experiments/exp_service_models.ml: Common Exp_fig5 Float Format List Mbac Mbac_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_utility.ml: Common Exp_fig5 Format List Mbac Mbac_sim Printf

@@ -1,0 +1,134 @@
+type profile = Quick | Full
+
+let profile_of_string s =
+  match String.lowercase_ascii s with
+  | "quick" -> Quick
+  | "full" -> Full
+  | other -> invalid_arg ("Common.profile_of_string: " ^ other)
+
+let seed = ref 20260706
+
+let rng_for tag =
+  (* Derive a stream from the global seed and the tag (stable string hash). *)
+  let h = Hashtbl.hash (tag, !seed) in
+  Mbac_stats.Rng.create ~seed:(h lxor (!seed * 0x9E3779B9))
+
+let sim_config ~profile ~p ~t_m =
+  let t_h_tilde = Mbac.Params.t_h_tilde p in
+  let batch = 2.0 *. Float.max t_h_tilde (Float.max t_m p.Mbac.Params.t_c) in
+  let base =
+    Mbac_sim.Continuous_load.default_config
+      ~capacity:(Mbac.Params.capacity p)
+      ~holding_time_mean:p.Mbac.Params.t_h
+      ~target_p_q:p.Mbac.Params.p_q
+  in
+  let max_events =
+    match profile with Quick -> 4_000_000 | Full -> 400_000_000
+  in
+  { base with
+    Mbac_sim.Continuous_load.warmup = 5.0 *. batch;
+    batch_length = batch;
+    min_batches = 16;
+    check_every_events = 50_000;
+    max_events }
+
+let rcbr_factory ~p rng ~start =
+  Mbac_traffic.Rcbr.create rng
+    { Mbac_traffic.Rcbr.mu = p.Mbac.Params.mu;
+      sigma = p.Mbac.Params.sigma;
+      t_c = p.Mbac.Params.t_c }
+    ~start
+
+let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
+  let capacity = Mbac.Params.capacity p in
+  let p_ce = Mbac_stats.Gaussian.q alpha_ce in
+  (* Extremely small adjusted targets underflow Q; the criterion only needs
+     alpha, so build the controller directly from the estimator. *)
+  let estimator = Mbac.Estimator.ewma ~t_m in
+  let controller =
+    Mbac.Controller.make
+      ~name:(Printf.sprintf "ce[t_m=%g,alpha=%.3g,p_ce=%.3g]" t_m alpha_ce p_ce)
+      ~observe:(Mbac.Estimator.observe estimator)
+      ~admissible:(fun obs ->
+        match Mbac.Estimator.current estimator with
+        | Some { Mbac.Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
+            Mbac.Criterion.admissible ~capacity ~mu:mu_hat
+              ~sigma:(sqrt var_hat) ~alpha:alpha_ce
+        | Some _ | None -> obs.Mbac.Observation.n + 1)
+      ~reset:(fun () -> Mbac.Estimator.reset estimator)
+      ()
+  in
+  let cfg = sim_config ~profile ~p ~t_m in
+  Mbac_sim.Continuous_load.run (rng_for tag) cfg ~controller
+    ~make_source:(rcbr_factory ~p)
+
+let csv_dir = ref None
+let current_section = ref "untitled"
+let tables_in_section = ref 0
+
+let section fmt id title =
+  current_section := id;
+  tables_in_section := 0;
+  Format.fprintf fmt "@.=== %s: %s ===@." id title
+
+(* Quote CSV fields that need it (commas / quotes / spaces are fine to
+   leave unquoted except commas and quotes). *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let dump_csv ~header ~rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+       with Sys_error _ -> ());
+      incr tables_in_section;
+      let suffix =
+        if !tables_in_section = 1 then ""
+        else Printf.sprintf "-%d" !tables_in_section
+      in
+      let path = Filename.concat dir (!current_section ^ suffix ^ ".csv") in
+      let oc = open_out path in
+      let emit cells =
+        output_string oc (String.concat "," (List.map csv_field cells));
+        output_char oc '\n'
+      in
+      emit header;
+      List.iter emit rows;
+      close_out oc
+
+let table fmt ~header ~rows =
+  dump_csv ~header ~rows;
+  let all = header :: rows in
+  let n_cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init n_cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        Format.fprintf fmt "%s%s" (String.make (w - String.length cell + 2) ' ') cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  Format.fprintf fmt "%s@."
+    (String.make (List.fold_left ( + ) 0 widths + (2 * n_cols)) '-');
+  List.iter print_row rows
+
+let fnum x =
+  if Float.is_nan x then "nan"
+  else if x = 0.0 then "0"
+  else Printf.sprintf "%.2e" x
+
+let fnum3 x =
+  if Float.is_nan x then "nan" else Printf.sprintf "%.3g" x

@@ -1,0 +1,83 @@
+(** Scheme comparison (extension; baselines from §6 related work): the
+    paper's robust MBAC against memoryless CE, the perfect-knowledge AC,
+    Jamin-style measured sum, the Hoeffding acceptance region, a
+    GKK-style prior scheme, and peak-rate allocation — same RCBR
+    workload, one row per scheme. *)
+
+type row = {
+  scheme : string;
+  p_f : float;
+  kind : [ `Direct | `Gaussian_fit ];
+  utilization : float;
+  mean_flows : float;
+}
+
+let params = Exp_fig5.params
+
+let compute ~profile =
+  let p = params in
+  let capacity = Mbac.Params.capacity p in
+  let p_ce = p.Mbac.Params.p_q in
+  let peak = p.Mbac.Params.mu +. (3.0 *. p.Mbac.Params.sigma) in
+  let t_h_tilde = Mbac.Params.t_h_tilde p in
+  let schemes =
+    [ ("perfect", Mbac.Controller.perfect p, 0.0);
+      ("memoryless CE", Mbac.Controller.memoryless ~capacity ~p_ce, 0.0);
+      ( "memory CE (T_m=T~_h)",
+        Mbac.Controller.with_memory ~capacity ~p_ce ~t_m:t_h_tilde,
+        t_h_tilde );
+      ("robust (adjusted)", Mbac.Controller.robust p, t_h_tilde);
+      ( "measured sum (u=0.9)",
+        Mbac.Controller.measured_sum ~capacity ~utilization_target:0.9
+          ~window:t_h_tilde ~peak,
+        t_h_tilde );
+      ( "hoeffding",
+        Mbac.Controller.hoeffding ~capacity ~p_ce ~peak
+          (Mbac.Estimator.ewma ~t_m:t_h_tilde),
+        t_h_tilde );
+      ( "chernoff (eff. bw.)",
+        Mbac.Controller.chernoff ~capacity ~p_ce
+          (Mbac.Estimator.ewma ~t_m:t_h_tilde),
+        t_h_tilde );
+      ( "gkk-style",
+        Mbac.Controller.gkk ~capacity ~p_ce ~prior_mu:p.Mbac.Params.mu
+          ~prior_var:(p.Mbac.Params.sigma ** 2.0)
+          ~prior_weight:0.5,
+        0.0 );
+      ("peak rate", Mbac.Controller.peak_rate ~capacity ~peak, 0.0) ]
+  in
+  List.map
+    (fun (name, controller, t_m) ->
+      let cfg = Common.sim_config ~profile ~p ~t_m in
+      let r =
+        Mbac_sim.Continuous_load.run
+          (Common.rng_for ("baselines-" ^ name))
+          cfg ~controller ~make_source:(Common.rcbr_factory ~p)
+      in
+      { scheme = name;
+        p_f = r.Mbac_sim.Continuous_load.p_f;
+        kind = r.Mbac_sim.Continuous_load.estimate_kind;
+        utilization = r.Mbac_sim.Continuous_load.utilization;
+        mean_flows = r.Mbac_sim.Continuous_load.mean_flows })
+    schemes
+
+let run ~profile fmt =
+  Common.section fmt "baselines" "Scheme comparison on the Fig-5 workload";
+  Format.fprintf fmt "%a, target p_q = %s@." Mbac.Params.pp params
+    (Common.fnum params.Mbac.Params.p_q);
+  let rows = compute ~profile in
+  Common.table fmt
+    ~header:[ "scheme"; "p_f"; "est"; "utilization"; "mean flows" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.scheme; Common.fnum r.p_f;
+             (match r.kind with `Direct -> "direct" | `Gaussian_fit -> "fit");
+             Printf.sprintf "%.3f" r.utilization;
+             Printf.sprintf "%.1f" r.mean_flows ])
+         rows);
+  Format.fprintf fmt
+    "Expected ordering: memoryless CE violates the target at high \
+     utilization; the robust MBAC meets it near the perfect-knowledge \
+     utilization; Hoeffding and peak-rate meet it by sacrificing \
+     utilization; measured-sum depends on its ad-hoc utilization target.@."

@@ -1,0 +1,52 @@
+(** §3.2 / eqn (21): finite holding time after an impulsive load — the
+    overflow probability p_f(t) rises from 0 (correlation protects early
+    times), peaks, and decays (departures repair the admission error). *)
+
+type point = { t : float; theory : float; sim : float }
+
+let params =
+  (* T~_h = 10, alpha_q ~ 2.33: a measurable hump for Monte Carlo. *)
+  Mbac.Params.make ~n:100.0 ~mu:1.0 ~sigma:0.3 ~t_h:100.0 ~t_c:1.0 ~p_q:1e-2
+
+let times = [| 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0 |]
+
+let compute ~profile =
+  let reps =
+    match profile with Common.Quick -> 4_000 | Common.Full -> 40_000
+  in
+  let p = params in
+  let sim =
+    Mbac_sim.Impulsive_driver.overflow_vs_time (Common.rng_for "eqn21")
+      ~replications:reps
+      ~n_offered:(2 * int_of_float p.Mbac.Params.n)
+      ~capacity:(Mbac.Params.capacity p)
+      ~alpha_ce:(Mbac.Params.alpha_q p)
+      ~holding_time_mean:p.Mbac.Params.t_h ~times
+      ~make_source:(Common.rcbr_factory ~p)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i t ->
+         { t;
+           theory = Mbac.Finite_holding.overflow_probability_at_ou p t;
+           sim = sim.(i) })
+       times)
+
+let run ~profile fmt =
+  Common.section fmt "eqn21"
+    "Transient overflow probability with finite holding times";
+  Format.fprintf fmt "%a, T~_h = %g@." Mbac.Params.pp params
+    (Mbac.Params.t_h_tilde params);
+  let rows = compute ~profile in
+  Common.table fmt
+    ~header:[ "t"; "theory eqn(21)"; "simulated" ]
+    ~rows:
+      (List.map
+         (fun r -> [ Common.fnum3 r.t; Common.fnum r.theory; Common.fnum r.sim ])
+         rows);
+  let peak_t = Mbac.Finite_holding.peak_time_ou params in
+  Format.fprintf fmt
+    "Theory peak at t = %.2f with p_f = %s; early times are protected by \
+     correlation, late times by departures.@."
+    peak_t
+    (Common.fnum (Mbac.Finite_holding.peak_overflow_ou params))

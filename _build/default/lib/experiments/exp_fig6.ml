@@ -1,0 +1,50 @@
+(** Figure 6: the adjusted certainty-equivalent target p_ce obtained by
+    inverting eqn (38), for n in {100, 1000}, T_h in {1e3, 1e4},
+    p_q = 1e-3, as a function of the memory window T_m.  Analysis only. *)
+
+type curve = { n : float; t_h : float; points : (float * float) list }
+(* points: (t_m, log10 p_ce) *)
+
+let t_ms =
+  [ 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0; 3000.0 ]
+
+let compute () =
+  List.map
+    (fun (n, t_h) ->
+      let p = Mbac.Params.make ~n ~mu:1.0 ~sigma:0.3 ~t_h ~t_c:1.0 ~p_q:1e-3 in
+      let points =
+        List.map
+          (fun t_m ->
+            (t_m, Mbac.Inversion.adjusted_log_p_ce ~t_m p /. log 10.0))
+          t_ms
+      in
+      { n; t_h; points })
+    [ (100.0, 1e3); (100.0, 1e4); (1000.0, 1e3); (1000.0, 1e4) ]
+
+let run ~profile fmt =
+  ignore profile;
+  Common.section fmt "fig6"
+    "Adjusted target p_ce by inversion of eqn (38), p_q = 1e-3";
+  let curves = compute () in
+  let header =
+    "T_m"
+    :: List.map
+         (fun c -> Printf.sprintf "n=%g,T_h=%g" c.n c.t_h)
+         curves
+  in
+  let rows =
+    List.map
+      (fun t_m ->
+        Common.fnum3 t_m
+        :: List.map
+             (fun c ->
+               let lp = List.assoc t_m c.points in
+               Printf.sprintf "%.2f" lp)
+             curves)
+      t_ms
+  in
+  Common.table fmt ~header ~rows;
+  Format.fprintf fmt
+    "Cells are log10(p_ce).  Paper: for small T_m the adjusted target is \
+     tiny (< 1e-10); it relaxes toward p_q as T_m grows, sooner for \
+     larger systems / shorter holding times (smaller T~_h).@."

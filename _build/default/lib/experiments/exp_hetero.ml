@@ -1,0 +1,85 @@
+(** §5.4 heterogeneous flows (extension): when flows have different mean
+    rates, the homogeneous variance estimator (eqn (7)) is biased upward
+    (it attributes the between-class mean spread to per-flow variance),
+    so the MBAC turns conservative: p_f below target, some utilization
+    lost — but robust. *)
+
+type row = {
+  mix : string;
+  p_f : float;
+  kind : [ `Direct | `Gaussian_fit ];
+  utilization : float;
+  true_var : float;     (* within-class variance averaged over the mix *)
+  estimator_var : float;(* what the homogeneous estimator converges to *)
+}
+
+let t_h = 1000.0
+let t_c = 1.0
+let p_ce = 1e-3
+let capacity = 100.0
+
+(* Two RCBR classes with equal arrival shares. *)
+let mixed_factory ~mu1 ~mu2 rng ~start =
+  let mu = if Mbac_stats.Sample.bernoulli rng ~p:0.5 then mu1 else mu2 in
+  Mbac_traffic.Rcbr.create rng
+    { Mbac_traffic.Rcbr.mu; sigma = 0.3 *. mu; t_c }
+    ~start
+
+let analysis ~mu1 ~mu2 =
+  (* Average within-class variance and the homogeneous estimator's limit
+     (law of total variance adds the between-class term). *)
+  let v1 = (0.3 *. mu1) ** 2.0 and v2 = (0.3 *. mu2) ** 2.0 in
+  let within = 0.5 *. (v1 +. v2) in
+  let mean = 0.5 *. (mu1 +. mu2) in
+  let between =
+    (0.5 *. ((mu1 -. mean) ** 2.0)) +. (0.5 *. ((mu2 -. mean) ** 2.0))
+  in
+  (within, within +. between)
+
+let compute ~profile =
+  let mixes = [ (1.0, 1.0); (0.75, 1.25); (0.5, 1.5) ] in
+  List.map
+    (fun (mu1, mu2) ->
+      let mean_mu = 0.5 *. (mu1 +. mu2) in
+      let p =
+        Mbac.Params.make ~n:(capacity /. mean_mu) ~mu:mean_mu
+          ~sigma:(0.3 *. mean_mu) ~t_h ~t_c ~p_q:p_ce
+      in
+      let t_m = Mbac.Window.recommended_t_m p in
+      let controller = Mbac.Controller.with_memory ~capacity ~p_ce ~t_m in
+      let cfg = Common.sim_config ~profile ~p ~t_m in
+      let r =
+        Mbac_sim.Continuous_load.run
+          (Common.rng_for (Printf.sprintf "hetero-%g-%g" mu1 mu2))
+          cfg ~controller
+          ~make_source:(mixed_factory ~mu1 ~mu2)
+      in
+      let true_var, estimator_var = analysis ~mu1 ~mu2 in
+      { mix = Printf.sprintf "mu = {%g, %g}" mu1 mu2;
+        p_f = r.Mbac_sim.Continuous_load.p_f;
+        kind = r.Mbac_sim.Continuous_load.estimate_kind;
+        utilization = r.Mbac_sim.Continuous_load.utilization;
+        true_var; estimator_var })
+    mixes
+
+let run ~profile fmt =
+  Common.section fmt "hetero"
+    "Heterogeneous flows: variance-estimator bias makes the MBAC conservative";
+  let rows = compute ~profile in
+  Common.table fmt
+    ~header:
+      [ "mix"; "p_f"; "est"; "utilization"; "within-class var";
+        "estimator limit" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.mix; Common.fnum r.p_f;
+             (match r.kind with `Direct -> "direct" | `Gaussian_fit -> "fit");
+             Printf.sprintf "%.3f" r.utilization; Common.fnum3 r.true_var;
+             Common.fnum3 r.estimator_var ])
+         rows);
+  Format.fprintf fmt
+    "Paper (§5.4): the homogeneous variance estimator over-estimates \
+     under heterogeneity (last two columns diverge with the spread), so \
+     p_f drops below target and utilization falls — conservative but \
+     robust.@."

@@ -1,0 +1,53 @@
+(** Prop 3.1: under the impulsive load, (M_0 - n)/sqrt n converges to
+    -(sigma/mu)(Y_0 + alpha_q), i.e. a Gaussian with mean
+    -(sigma/mu) alpha_q and standard deviation sigma/mu. *)
+
+type row = {
+  n : int;
+  theory_mean : float;
+  sim_mean : float;
+  theory_std : float;
+  sim_std : float;
+}
+
+let compute ~profile =
+  let reps = match profile with Common.Quick -> 2_000 | Common.Full -> 20_000 in
+  let mu = 1.0 and sigma = 0.3 and p_q = 1e-3 in
+  let alpha = Mbac_stats.Gaussian.q_inv p_q in
+  List.map
+    (fun n ->
+      let nf = float_of_int n in
+      let p =
+        Mbac.Params.make ~n:nf ~mu ~sigma ~t_h:1000.0 ~t_c:1.0 ~p_q
+      in
+      let rng = Common.rng_for (Printf.sprintf "prop31-%d" n) in
+      let samples =
+        Mbac_sim.Impulsive_driver.m0_samples rng ~replications:reps
+          ~n_offered:(2 * n) ~capacity:(Mbac.Params.capacity p)
+          ~alpha_ce:alpha
+          ~make_source:(Common.rcbr_factory ~p)
+      in
+      let standardized = Array.map (fun m0 -> (m0 -. nf) /. sqrt nf) samples in
+      { n;
+        theory_mean = -.(sigma /. mu) *. alpha;
+        sim_mean = Mbac_stats.Descriptive.mean standardized;
+        theory_std = sigma /. mu;
+        sim_std = Mbac_stats.Descriptive.std standardized })
+    (match profile with Common.Quick -> [ 100; 400 ] | Common.Full -> [ 100; 400; 1600 ])
+
+let run ~profile fmt =
+  Common.section fmt "prop31"
+    "Fluctuation of the admitted count M_0 (impulsive load)";
+  let rows = compute ~profile in
+  Common.table fmt
+    ~header:[ "n"; "E[(M0-n)/sqrt n] theory"; "sim"; "Std theory"; "sim" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ string_of_int r.n; Common.fnum3 r.theory_mean;
+             Common.fnum3 r.sim_mean; Common.fnum3 r.theory_std;
+             Common.fnum3 r.sim_std ])
+         rows);
+  Format.fprintf fmt
+    "Paper: M_0 ~ n - (sigma/mu)(Y_0 + alpha_q) sqrt n; the standardized \
+     mean and std should match the theory columns.@."

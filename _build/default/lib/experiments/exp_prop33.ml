@@ -1,0 +1,113 @@
+(** Prop 3.3: the memoryless certainty-equivalent MBAC under impulsive
+    load delivers p_f -> Q(alpha_q / sqrt 2) instead of p_q — e.g. two
+    orders of magnitude off at p_q = 1e-5.  We also run the
+    perfect-knowledge AC on the same workload to show it does meet p_q,
+    and the eqn (15)-adjusted CE target to show the repair. *)
+
+type row = {
+  n : int;
+  p_q : float;
+  theory : float;       (* Q(alpha_q / sqrt 2) *)
+  sim_ce : float;       (* measured, certainty-equivalent *)
+  sim_ce_se : float;
+  sim_perfect : float;  (* measured, perfect knowledge *)
+  sim_adjusted : float; (* measured, CE at p_ce = Q(sqrt 2 alpha_q) *)
+}
+
+let measure ~rng ~p ~alpha_ce ~reps ~samples =
+  let t_c = p.Mbac.Params.t_c in
+  Mbac_sim.Impulsive_driver.steady_state_overflow rng ~replications:reps
+    ~n_offered:(2 * int_of_float p.Mbac.Params.n)
+    ~capacity:(Mbac.Params.capacity p) ~alpha_ce
+    ~decorrelate_time:(10.0 *. t_c)
+    ~samples_per_replication:samples ~sample_spacing:(2.0 *. t_c)
+    ~make_source:(Common.rcbr_factory ~p)
+
+(* Perfect knowledge: admit exactly m* flows, measure their overflow. *)
+let measure_perfect ~rng ~p ~reps ~samples =
+  let m_star = Mbac.Criterion.m_star p in
+  let capacity = Mbac.Params.capacity p in
+  let t_c = p.Mbac.Params.t_c in
+  let acc = Mbac_stats.Welford.create () in
+  for _ = 1 to reps do
+    let sources =
+      Array.init m_star (fun _ ->
+          Common.rcbr_factory ~p rng ~start:0.0)
+    in
+    let hits = ref 0 in
+    for k = 0 to samples - 1 do
+      let t = (10.0 *. t_c) +. (float_of_int k *. 2.0 *. t_c) in
+      Array.iter
+        (fun s ->
+          while Mbac_traffic.Source.next_change s <= t do
+            Mbac_traffic.Source.fire s
+              ~now:(Mbac_traffic.Source.next_change s)
+          done)
+        sources;
+      let load =
+        Array.fold_left
+          (fun a s -> a +. Mbac_traffic.Source.rate s)
+          0.0 sources
+      in
+      if load > capacity then incr hits
+    done;
+    Mbac_stats.Welford.add acc (float_of_int !hits /. float_of_int samples)
+  done;
+  Mbac_stats.Welford.mean acc
+
+let compute ~profile =
+  let reps, samples =
+    match profile with Common.Quick -> (300, 60) | Common.Full -> (2_000, 300)
+  in
+  let mu = 1.0 and sigma = 0.3 in
+  let cases =
+    match profile with
+    | Common.Quick -> [ (100, 1e-2); (400, 1e-2); (100, 1e-3) ]
+    | Common.Full -> [ (100, 1e-2); (400, 1e-2); (1600, 1e-2); (100, 1e-3); (400, 1e-3) ]
+  in
+  List.map
+    (fun (n, p_q) ->
+      let p =
+        Mbac.Params.make ~n:(float_of_int n) ~mu ~sigma ~t_h:1000.0 ~t_c:1.0
+          ~p_q
+      in
+      let alpha_q = Mbac.Params.alpha_q p in
+      let tag = Printf.sprintf "prop33-%d-%g" n p_q in
+      let sim_ce, sim_ce_se =
+        measure ~rng:(Common.rng_for tag) ~p ~alpha_ce:alpha_q ~reps ~samples
+      in
+      let sim_perfect =
+        measure_perfect ~rng:(Common.rng_for (tag ^ "-perfect")) ~p ~reps
+          ~samples
+      in
+      let sim_adjusted, _ =
+        measure
+          ~rng:(Common.rng_for (tag ^ "-adj"))
+          ~p
+          ~alpha_ce:(sqrt 2.0 *. alpha_q)
+          ~reps ~samples
+      in
+      { n; p_q;
+        theory = Mbac.Impulsive.overflow_probability p;
+        sim_ce; sim_ce_se; sim_perfect; sim_adjusted })
+    cases
+
+let run ~profile fmt =
+  Common.section fmt "prop33"
+    "Certainty-equivalence penalty under impulsive load (Q(alpha/sqrt 2) law)";
+  let rows = compute ~profile in
+  Common.table fmt
+    ~header:
+      [ "n"; "p_q"; "theory Q(a/sqrt2)"; "sim CE"; "+-se"; "sim perfect";
+        "sim adjusted(eqn15)" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ string_of_int r.n; Common.fnum r.p_q; Common.fnum r.theory;
+             Common.fnum r.sim_ce; Common.fnum r.sim_ce_se;
+             Common.fnum r.sim_perfect; Common.fnum r.sim_adjusted ])
+         rows);
+  Format.fprintf fmt
+    "Paper: CE misses p_q by orders of magnitude (e.g. p_q=1e-5 -> \
+     p_f~1.3e-3), perfect knowledge meets it, and the eqn (15) adjustment \
+     p_ce = Q(sqrt2 alpha_q) restores it.@."

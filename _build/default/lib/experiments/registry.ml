@@ -1,0 +1,54 @@
+type entry = {
+  id : string;
+  title : string;
+  simulation : bool;
+  run : profile:Common.profile -> Format.formatter -> unit;
+}
+
+let all =
+  [ { id = "prop31"; title = "M_0 fluctuation under impulsive load";
+      simulation = true; run = Exp_prop31.run };
+    { id = "prop33"; title = "certainty-equivalence penalty Q(alpha/sqrt 2)";
+      simulation = true; run = Exp_prop33.run };
+    { id = "eqn21"; title = "transient overflow with finite holding times";
+      simulation = true; run = Exp_eqn21.run };
+    { id = "fig5"; title = "p_f vs memory window: theory and simulation";
+      simulation = true; run = Exp_fig5.run };
+    { id = "fig6"; title = "adjusted target p_ce by inversion of eqn (38)";
+      simulation = false; run = Exp_fig6.run };
+    { id = "fig7"; title = "simulated p_f at the adjusted target";
+      simulation = true; run = Exp_fig7.run };
+    { id = "fig9"; title = "p_f over T_m/T~_h x T_c (analysis grid)";
+      simulation = false; run = Exp_fig9.run };
+    { id = "fig10"; title = "simulated p_f over the Fig 9 grid";
+      simulation = true; run = Exp_fig10.run };
+    { id = "fig11"; title = "LRD video, memoryless estimation";
+      simulation = true; run = Exp_starwars.run_fig11 };
+    { id = "fig12"; title = "LRD video, T_m = T~_h";
+      simulation = true; run = Exp_starwars.run_fig12 };
+    { id = "regimes"; title = "masking/repair regime closed forms";
+      simulation = false; run = Exp_regimes.run };
+    { id = "util40"; title = "utilization cost of conservatism (eqn 40)";
+      simulation = true; run = Exp_util40.run };
+    { id = "baselines"; title = "scheme comparison (extension)";
+      simulation = true; run = Exp_baselines.run };
+    { id = "hetero"; title = "heterogeneous flows (§5.4 extension)";
+      simulation = true; run = Exp_hetero.run };
+    { id = "aggregate"; title = "aggregate-only measurement (§7 extension)";
+      simulation = true; run = Exp_aggregate.run };
+    { id = "arrival"; title = "finite Poisson arrivals vs continuous load";
+      simulation = true; run = Exp_arrival.run };
+    { id = "service"; title = "bufferless vs RCBR renegotiation vs buffered";
+      simulation = true; run = Exp_service_models.run };
+    { id = "nonstat"; title = "non-stationary traffic vs estimator memory";
+      simulation = true; run = Exp_nonstat.run };
+    { id = "utility"; title = "utility-based QoS metrics (§7 extension)";
+      simulation = true; run = Exp_utility.run } ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ~profile fmt =
+  List.iter (fun e -> e.run ~profile fmt) all
+
+let run_analysis_only ~profile fmt =
+  List.iter (fun e -> if not e.simulation then e.run ~profile fmt) all

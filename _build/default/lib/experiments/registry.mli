@@ -1,0 +1,17 @@
+(** Experiment registry: names, descriptions, and runners for every
+    reproduced figure/result (the DESIGN.md experiment index). *)
+
+type entry = {
+  id : string;
+  title : string;
+  simulation : bool;  (** involves Monte-Carlo (vs analysis-only) *)
+  run : profile:Common.profile -> Format.formatter -> unit;
+}
+
+val all : entry list
+(** In presentation order: prop31, prop33, eqn21, fig5, fig6, fig7, fig9,
+    fig10, fig11, fig12, regimes, util40, baselines, hetero, aggregate. *)
+
+val find : string -> entry option
+val run_all : profile:Common.profile -> Format.formatter -> unit
+val run_analysis_only : profile:Common.profile -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/numerics/fgn.ml: Array Fft Mbac_stats

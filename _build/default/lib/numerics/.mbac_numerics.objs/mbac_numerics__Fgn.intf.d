@@ -1,0 +1,1 @@
+lib/numerics/fgn.mli: Mbac_stats

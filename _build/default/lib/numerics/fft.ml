@@ -1,0 +1,84 @@
+let pi = 4.0 *. atan 1.0
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  if n < 1 then invalid_arg "Fft.next_power_of_two: requires n >= 1";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Iterative in-place Cooley-Tukey with bit-reversal permutation.
+   [sign] = -1.0 for the forward transform, +1.0 for the inverse. *)
+let transform ~sign re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Fft: length must be a power of 2";
+  (* bit reversal *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in re.(i) <- re.(!j); re.(!j) <- tr;
+      let ti = im.(i) in im.(i) <- im.(!j); im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* butterflies *)
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. pi /. float_of_int !len in
+    let wr = cos ang and wi = sin ang in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to (!len / 2) - 1 do
+        let a = !i + k and b = !i + k + (!len / 2) in
+        let xr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+        let xi = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(b) <- re.(a) -. xr;
+        im.(b) <- im.(a) -. xi;
+        re.(a) <- re.(a) +. xr;
+        im.(a) <- im.(a) +. xi;
+        let cr' = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := cr'
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let fft ~re ~im = transform ~sign:(-1.0) re im
+
+let ifft ~re ~im =
+  transform ~sign:1.0 re im;
+  let n = float_of_int (Array.length re) in
+  for i = 0 to Array.length re - 1 do
+    re.(i) <- re.(i) /. n;
+    im.(i) <- im.(i) /. n
+  done
+
+let autocorrelation_fft xs ~max_lag =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Fft.autocorrelation_fft: empty input";
+  let max_lag = min max_lag (n - 1) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let m = next_power_of_two (2 * n) in
+  let re = Array.make m 0.0 and im = Array.make m 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- xs.(i) -. mean
+  done;
+  fft ~re ~im;
+  (* power spectrum *)
+  for i = 0 to m - 1 do
+    re.(i) <- (re.(i) *. re.(i)) +. (im.(i) *. im.(i));
+    im.(i) <- 0.0
+  done;
+  ifft ~re ~im;
+  let c0 = re.(0) in
+  if c0 <= 0.0 then Array.make (max_lag + 1) 0.0
+  else Array.init (max_lag + 1) (fun k -> re.(k) /. c0)

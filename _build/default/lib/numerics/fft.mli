@@ -1,0 +1,19 @@
+(** Radix-2 complex FFT, used by the circulant-embedding fractional
+    Gaussian noise generator and for fast autocorrelation estimates. *)
+
+val is_power_of_two : int -> bool
+
+val next_power_of_two : int -> int
+(** Smallest power of two >= the argument (argument must be >= 1). *)
+
+val fft : re:float array -> im:float array -> unit
+(** In-place forward DFT of the complex sequence (re, im).
+    @raise Invalid_argument unless both arrays share a power-of-two length. *)
+
+val ifft : re:float array -> im:float array -> unit
+(** In-place inverse DFT (includes the 1/n normalisation). *)
+
+val autocorrelation_fft : float array -> max_lag:int -> float array
+(** Biased sample autocorrelation of a real series up to [max_lag],
+    computed in O(n log n) via zero-padded FFT.  [result.(0) = 1.0]
+    (all-zero result if the series variance vanishes). *)

@@ -1,0 +1,56 @@
+let fgn_autocovariance ~hurst k =
+  let h2 = 2.0 *. hurst in
+  let kf = float_of_int (abs k) in
+  0.5 *. (((kf +. 1.0) ** h2) -. (2.0 *. (kf ** h2)) +. (abs_float (kf -. 1.0) ** h2))
+
+let generate rng ~hurst ~n =
+  if not (hurst > 0.0 && hurst < 1.0) then
+    invalid_arg "Fgn.generate: requires 0 < hurst < 1";
+  if n <= 0 then invalid_arg "Fgn.generate: requires n > 0";
+  if hurst = 0.5 then
+    Array.init n (fun _ -> Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:1.0)
+  else begin
+    (* Circulant embedding of the (n x n) Toeplitz covariance into a
+       (2m)-circulant, m >= n a power of two so the FFT applies. *)
+    let m = Fft.next_power_of_two n in
+    let size = 2 * m in
+    (* First row of the circulant: c_0..c_m, then mirrored. *)
+    let row =
+      Array.init size (fun i ->
+          let k = if i <= m then i else size - i in
+          fgn_autocovariance ~hurst k)
+    in
+    let re = Array.copy row and im = Array.make size 0.0 in
+    Fft.fft ~re ~im;
+    (* Eigenvalues of the circulant = DFT of the first row; real and (for
+       fGn) non-negative.  Clip roundoff negatives. *)
+    let lambda = Array.map (fun x -> if x < 0.0 then 0.0 else x) re in
+    (* Build the complex Gaussian vector with the right covariance. *)
+    let wr = Array.make size 0.0 and wi = Array.make size 0.0 in
+    let g () = Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:1.0 in
+    let scale = 1.0 /. sqrt (float_of_int size) in
+    wr.(0) <- sqrt lambda.(0) *. g () *. scale;
+    wi.(0) <- 0.0;
+    wr.(m) <- sqrt lambda.(m) *. g () *. scale;
+    wi.(m) <- 0.0;
+    for k = 1 to m - 1 do
+      let s = sqrt (lambda.(k) /. 2.0) *. scale in
+      let a = g () and b = g () in
+      wr.(k) <- s *. a;
+      wi.(k) <- s *. b;
+      wr.(size - k) <- s *. a;
+      wi.(size - k) <- -.s *. b
+    done;
+    Fft.fft ~re:wr ~im:wi;
+    Array.sub wr 0 n
+  end
+
+let fbm_of_fgn increments =
+  let n = Array.length increments in
+  let path = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. increments.(i);
+    path.(i) <- !acc
+  done;
+  path

@@ -1,0 +1,22 @@
+(** Exact fractional Gaussian noise by circulant embedding (Davies–Harte).
+
+    Used to synthesise the long-range-dependent "Starwars-like" video
+    traffic of the paper's Figures 11–12 (the original MPEG-1 trace is not
+    redistributable; see DESIGN.md §3). *)
+
+val fgn_autocovariance : hurst:float -> int -> float
+(** [fgn_autocovariance ~hurst k] is the lag-[k] autocovariance of
+    unit-variance fGn: (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}) / 2. *)
+
+val generate : Mbac_stats.Rng.t -> hurst:float -> n:int -> float array
+(** [generate rng ~hurst ~n] draws [n] samples of zero-mean, unit-variance
+    fractional Gaussian noise with Hurst parameter [hurst] in (0, 1).
+    Exact in distribution (up to the non-negativity of the circulant
+    eigenvalues, which holds for fGn; tiny negative eigenvalues from
+    roundoff are clipped to 0).
+    @raise Invalid_argument if [hurst] is outside (0,1) or [n <= 0]. *)
+
+val fbm_of_fgn : float array -> float array
+(** Cumulative sum: fractional Brownian motion increments -> path
+    (result has the same length; element i is the sum of the first i+1
+    increments). *)

@@ -1,0 +1,90 @@
+let adaptive_simpson ?(rel_tol = 1e-10) ?(abs_tol = 1e-14) ?(max_depth = 40) f
+    ~lo ~hi =
+  if hi < lo then invalid_arg "Integrate.adaptive_simpson: requires lo <= hi";
+  if hi = lo then 0.0
+  else begin
+    let simpson a fa b fb =
+      let m = 0.5 *. (a +. b) in
+      let fm = f m in
+      (m, fm, (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb))
+    in
+    (* Classic recursive refinement with the Richardson error estimate. *)
+    let rec go a fa b fb whole fm m depth =
+      let lm, flm, left = simpson a fa m fm in
+      let rm, frm, right = simpson m fm b fb in
+      let delta = left +. right -. whole in
+      let tol = Float.max abs_tol (rel_tol *. abs_float (left +. right)) in
+      if depth >= max_depth || abs_float delta <= 15.0 *. tol then
+        left +. right +. (delta /. 15.0)
+      else
+        go a fa m fm left flm lm (depth + 1)
+        +. go m fm b fb right frm rm (depth + 1)
+    in
+    let fa = f lo and fb = f hi in
+    let m, fm, whole = simpson lo fa hi fb in
+    go lo fa hi fb whole fm m 0
+  end
+
+(* Gauss-Legendre nodes/weights on [-1,1] by Newton iteration on P_n. *)
+let legendre_nodes n =
+  if n < 1 then invalid_arg "Integrate.gauss_legendre: requires n >= 1";
+  let pi = 4.0 *. atan 1.0 in
+  let nodes = Array.make n 0.0 and weights = Array.make n 0.0 in
+  let m = (n + 1) / 2 in
+  for i = 0 to m - 1 do
+    (* Initial guess: Chebyshev-like approximation of the i-th root. *)
+    let x = ref (cos (pi *. (float_of_int i +. 0.75) /. (float_of_int n +. 0.5))) in
+    let pp = ref 0.0 in
+    let continue = ref true in
+    let iter = ref 0 in
+    while !continue && !iter < 100 do
+      (* Evaluate P_n(x) and P_{n-1}(x) by the three-term recurrence. *)
+      let p0 = ref 1.0 and p1 = ref 0.0 in
+      for j = 0 to n - 1 do
+        let p2 = !p1 in
+        p1 := !p0;
+        p0 :=
+          (((2.0 *. float_of_int j) +. 1.0) *. !x *. !p1
+          -. (float_of_int j *. p2))
+          /. float_of_int (j + 1)
+      done;
+      (* Derivative via P'_n = n (x P_n - P_{n-1}) / (x^2 - 1). *)
+      pp := float_of_int n *. ((!x *. !p0) -. !p1) /. ((!x *. !x) -. 1.0);
+      let dx = !p0 /. !pp in
+      x := !x -. dx;
+      if abs_float dx < 1e-15 then continue := false;
+      incr iter
+    done;
+    nodes.(i) <- -. !x;
+    nodes.(n - 1 - i) <- !x;
+    let w = 2.0 /. ((1.0 -. (!x *. !x)) *. !pp *. !pp) in
+    weights.(i) <- w;
+    weights.(n - 1 - i) <- w
+  done;
+  (nodes, weights)
+
+let gauss_legendre ~n f ~lo ~hi =
+  let nodes, weights = legendre_nodes n in
+  let half = 0.5 *. (hi -. lo) and mid = 0.5 *. (hi +. lo) in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) *. f (mid +. (half *. nodes.(i))))
+  done;
+  half *. !acc
+
+let semi_infinite ?(rel_tol = 1e-10) ?(segment = 1.0) ?(max_segments = 200) f
+    ~lo =
+  let rec sum a width total k =
+    if k >= max_segments then total
+    else begin
+      let b = a +. width in
+      let panel = adaptive_simpson ~rel_tol f ~lo:a ~hi:b in
+      let total' = total +. panel in
+      (* Stop once a panel is negligible relative to the accumulated value
+         (guard against an identically-zero head with the k > 4 check). *)
+      if k > 4 && abs_float panel <= rel_tol *. (abs_float total' +. 1e-300)
+      then total'
+      else sum b (width *. 1.6) total' (k + 1)
+    end
+  in
+  sum lo segment 0.0 0

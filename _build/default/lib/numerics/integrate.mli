@@ -1,0 +1,22 @@
+(** Numerical quadrature for the paper's overflow-probability integrals
+    (eqns (30), (32), (37)). *)
+
+val adaptive_simpson :
+  ?rel_tol:float -> ?abs_tol:float -> ?max_depth:int ->
+  (float -> float) -> lo:float -> hi:float -> float
+(** Adaptive Simpson quadrature of [f] on [lo, hi].  Defaults:
+    [rel_tol = 1e-10], [abs_tol = 1e-14], [max_depth = 40].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val gauss_legendre : n:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Composite-free n-point Gauss–Legendre on [lo, hi] with nodes computed
+    by Newton iteration on Legendre polynomials ([n >= 1]). *)
+
+val semi_infinite :
+  ?rel_tol:float -> ?segment:float -> ?max_segments:int ->
+  (float -> float) -> lo:float -> float
+(** Integral of [f] on [lo, infinity) by summing adaptive-Simpson panels of
+    growing width until a panel contributes less than [rel_tol] of the
+    running total (default [rel_tol = 1e-10], first [segment] width 1.0,
+    [max_segments = 200]).  Intended for integrands with Gaussian-type
+    decay, as in the hitting-probability formulas. *)

@@ -1,0 +1,40 @@
+type t = { xs : float array; ys : float array }
+
+let of_points points =
+  if Array.length points < 2 then
+    invalid_arg "Interp.of_points: requires >= 2 points";
+  let points = Array.copy points in
+  Array.sort (fun (x1, _) (x2, _) -> compare x1 x2) points;
+  let xs = Array.map fst points and ys = Array.map snd points in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) = xs.(i - 1) then
+      invalid_arg "Interp.of_points: duplicate x values"
+  done;
+  { xs; ys }
+
+let of_samples ~x0 ~dx ys =
+  if dx <= 0.0 then invalid_arg "Interp.of_samples: requires dx > 0";
+  if Array.length ys < 2 then
+    invalid_arg "Interp.of_samples: requires >= 2 samples";
+  let xs = Array.init (Array.length ys) (fun i -> x0 +. (float_of_int i *. dx)) in
+  { xs; ys = Array.copy ys }
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    (* binary search for the segment containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = t.xs.(!lo) and x1 = t.xs.(!hi) in
+    let y0 = t.ys.(!lo) and y1 = t.ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+
+let map_y f t = { xs = Array.copy t.xs; ys = Array.map f t.ys }

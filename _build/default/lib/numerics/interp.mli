@@ -1,0 +1,17 @@
+(** Tabulated functions with linear interpolation (used for trace-driven
+    sources and for caching expensive analysis curves). *)
+
+type t
+
+val of_points : (float * float) array -> t
+(** Build from (x, y) points.  The points are sorted by x.
+    @raise Invalid_argument on < 2 points or duplicate x values. *)
+
+val of_samples : x0:float -> dx:float -> float array -> t
+(** Uniformly spaced samples starting at [x0] with step [dx > 0]. *)
+
+val eval : t -> float -> float
+(** Linear interpolation; clamps to the end values outside the domain. *)
+
+val domain : t -> float * float
+val map_y : (float -> float) -> t -> t

@@ -1,0 +1,59 @@
+let solve a b =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then
+    invalid_arg "Linalg.solve: dimension mismatch";
+  Array.iter (fun row ->
+      if Array.length row <> n then invalid_arg "Linalg.solve: non-square matrix")
+    a;
+  (* augmented working copy *)
+  let m = Array.init n (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float m.(r).(col) > abs_float m.(!pivot).(col) then pivot := r
+    done;
+    if abs_float m.(!pivot).(col) < 1e-13 then
+      failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp
+    end;
+    for r = col + 1 to n - 1 do
+      let factor = m.(r).(col) /. m.(col).(col) in
+      for c = col to n do
+        m.(r).(c) <- m.(r).(c) -. (factor *. m.(col).(c))
+      done
+    done
+  done;
+  (* back substitution *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref m.(i).(n) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (m.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. m.(i).(i)
+  done;
+  x
+
+let mat_vec a x =
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let stationary_distribution q =
+  let n = Array.length q in
+  if n = 0 then invalid_arg "Linalg.stationary_distribution: empty generator";
+  (* Solve pi Q = 0 with sum(pi) = 1: transpose Q, replace the last
+     equation by the normalisation constraint. *)
+  let a =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if i = n - 1 then 1.0 else q.(j).(i)))
+  in
+  let b = Array.init n (fun i -> if i = n - 1 then 1.0 else 0.0) in
+  solve a b

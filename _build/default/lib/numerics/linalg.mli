@@ -1,0 +1,16 @@
+(** Small dense linear algebra (Gaussian elimination), enough to compute
+    stationary distributions of the Markov-modulated fluid sources. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  [a] and [b] are not modified.
+    @raise Invalid_argument on dimension mismatch.
+    @raise Failure if the matrix is (numerically) singular. *)
+
+val mat_vec : float array array -> float array -> float array
+
+val stationary_distribution : float array array -> float array
+(** [stationary_distribution q] is the probability vector [pi] with
+    [pi Q = 0] and [sum pi = 1], for a CTMC generator matrix [q]
+    (rows sum to 0, off-diagonals >= 0).
+    @raise Failure if the chain is reducible (singular system). *)

@@ -1,0 +1,123 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then
+    invalid_arg "Roots.bisect: interval does not bracket a root"
+  else begin
+    let rec go lo hi flo n =
+      let mid = 0.5 *. (lo +. hi) in
+      if n >= max_iter || hi -. lo <= tol *. (1.0 +. abs_float mid) then mid
+      else begin
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if flo *. fmid < 0.0 then go lo mid flo (n + 1)
+        else go mid hi fmid (n + 1)
+      end
+    in
+    go lo hi flo 0
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if !fa = 0.0 then !a
+  else if !fb = 0.0 then !b
+  else if !fa *. !fb > 0.0 then
+    invalid_arg "Roots.brent: interval does not bracket a root"
+  else begin
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref nan in
+    (try
+       for _ = 1 to max_iter do
+         if abs_float !fc < abs_float !fb then begin
+           a := !b; b := !c; c := !a;
+           fa := !fb; fb := !fc; fc := !fa
+         end;
+         let tol1 = (2.0 *. epsilon_float *. abs_float !b) +. (0.5 *. tol) in
+         let xm = 0.5 *. (!c -. !b) in
+         if abs_float xm <= tol1 || !fb = 0.0 then begin
+           result := !b;
+           raise Exit
+         end;
+         if abs_float !e >= tol1 && abs_float !fa > abs_float !fb then begin
+           let s = !fb /. !fa in
+           let p, q =
+             if !a = !c then
+               (* secant *)
+               (2.0 *. xm *. s, 1.0 -. s)
+             else begin
+               (* inverse quadratic interpolation *)
+               let q = !fa /. !fc and r = !fb /. !fc in
+               ( s *. ((2.0 *. xm *. q *. (q -. r))
+                       -. ((!b -. !a) *. (r -. 1.0))),
+                 (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0) )
+             end
+           in
+           let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+           if
+             2.0 *. p
+             < Float.min
+                 ((3.0 *. xm *. q) -. abs_float (tol1 *. q))
+                 (abs_float (!e *. q))
+           then begin
+             e := !d;
+             d := p /. q
+           end
+           else begin
+             d := xm;
+             e := xm
+           end
+         end
+         else begin
+           d := xm;
+           e := xm
+         end;
+         a := !b;
+         fa := !fb;
+         b := !b +. (if abs_float !d > tol1 then !d
+                     else if xm > 0.0 then tol1 else -.tol1);
+         fb := f !b;
+         if !fb *. !fc > 0.0 then begin
+           c := !a;
+           fc := !fa;
+           d := !b -. !a;
+           e := !d
+         end
+       done;
+       result := !b
+     with Exit -> ());
+    !result
+  end
+
+let newton_safe ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
+  let lo = ref lo and hi = ref hi in
+  let x = ref (Float.max !lo (Float.min !hi x0)) in
+  let fx = ref (f !x) in
+  let n = ref 0 in
+  while abs_float !fx > 0.0 && !n < max_iter
+        && !hi -. !lo > tol *. (1.0 +. abs_float !x) do
+    (* Maintain the bracket using the sign of f at x. *)
+    let flo = f !lo in
+    if flo *. !fx <= 0.0 then hi := !x else lo := !x;
+    let d = df !x in
+    let x' = if d = 0.0 then 0.5 *. (!lo +. !hi) else !x -. (!fx /. d) in
+    let x' =
+      if x' <= !lo || x' >= !hi then 0.5 *. (!lo +. !hi) else x'
+    in
+    x := x';
+    fx := f !x;
+    incr n
+  done;
+  !x
+
+let invert_increasing ?(tol = 1e-12) f ~lo ~hi y =
+  if y <= f lo then lo
+  else if y >= f hi then hi
+  else brent ~tol (fun x -> f x -. y) ~lo ~hi
+
+let invert_decreasing ?(tol = 1e-12) f ~lo ~hi y =
+  if y >= f lo then lo
+  else if y <= f hi then hi
+  else brent ~tol (fun x -> f x -. y) ~lo ~hi

@@ -1,0 +1,33 @@
+(** Scalar root finding and monotone-function inversion, used to solve the
+    certainty-equivalent admission criterion and to invert the paper's
+    overflow formula (38) for the adjusted target p_ce. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  float
+(** Root of [f] on a bracketing interval ([f lo] and [f hi] of opposite
+    signs, either may be zero).  Default [tol = 1e-12] (on the interval
+    width, relative to magnitude), [max_iter = 200].
+    @raise Invalid_argument if the interval does not bracket a root. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  float
+(** Brent's method: inverse-quadratic/secant steps with a bisection
+    safety net.  Same bracketing contract as {!bisect}. *)
+
+val newton_safe :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  lo:float -> hi:float -> float -> float
+(** Newton iteration started at the last argument, falling back to
+    bisection whenever a step leaves the bracket [lo, hi]. *)
+
+val invert_increasing :
+  ?tol:float -> (float -> float) -> lo:float -> hi:float -> float -> float
+(** [invert_increasing f ~lo ~hi y] solves [f x = y] for an [f] that is
+    non-decreasing on [lo, hi].  Clamps to the endpoints when [y] is
+    outside [f lo, f hi]. *)
+
+val invert_decreasing :
+  ?tol:float -> (float -> float) -> lo:float -> hi:float -> float -> float
+(** Mirror of {!invert_increasing} for non-increasing [f]. *)

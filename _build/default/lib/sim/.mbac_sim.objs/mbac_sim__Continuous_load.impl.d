@@ -1,0 +1,1 @@
+lib/sim/continuous_load.ml: Event_heap Float Fluid_buffer Format Hashtbl Mbac Mbac_stats Mbac_traffic Measurement

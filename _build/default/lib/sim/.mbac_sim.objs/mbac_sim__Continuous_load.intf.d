@@ -1,0 +1,1 @@
+lib/sim/continuous_load.mli: Format Mbac Mbac_stats Mbac_traffic

@@ -1,0 +1,1 @@
+lib/sim/fluid_buffer.ml: Float

@@ -1,0 +1,1 @@
+lib/sim/impulsive_driver.ml: Array Float Mbac Mbac_stats Mbac_traffic

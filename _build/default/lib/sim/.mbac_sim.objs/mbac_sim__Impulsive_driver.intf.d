@@ -1,0 +1,1 @@
+lib/sim/impulsive_driver.mli: Mbac_stats Mbac_traffic

@@ -1,0 +1,1 @@
+lib/sim/measurement.ml: Float Mbac_stats

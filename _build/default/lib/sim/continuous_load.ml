@@ -1,0 +1,356 @@
+type arrival = [ `Infinite | `Poisson of float ]
+type link = [ `Bufferless | `Renegotiation_blocking | `Buffered of float ]
+
+type config = {
+  capacity : float;
+  holding_time_mean : float;
+  arrival : arrival;
+  link : link;
+  utility : Mbac.Utility.t;
+  warmup : float;
+  batch_length : float;
+  target_p_q : float;
+  rel_ci : float;
+  confidence : float;
+  min_batches : int;
+  check_every_events : int;
+  max_time : float;
+  max_events : int;
+  max_flows : int;
+}
+
+let default_config ~capacity ~holding_time_mean ~target_p_q =
+  { capacity; holding_time_mean;
+    arrival = `Infinite;
+    link = `Bufferless;
+    utility = Mbac.Utility.Step;
+    warmup = holding_time_mean;
+    batch_length = holding_time_mean /. 5.0;
+    target_p_q;
+    rel_ci = 0.2;
+    confidence = 0.95;
+    min_batches = 16;
+    check_every_events = 20_000;
+    max_time = 1e12;
+    max_events = 200_000_000;
+    max_flows = 10_000_000 }
+
+type result = {
+  p_f : float;
+  estimate_kind : [ `Direct | `Gaussian_fit ];
+  converged : bool;
+  ci_rel : float;
+  mean_flows : float;
+  mean_load : float;
+  std_load : float;
+  utilization : float;
+  mean_utility : float;
+  admitted : int;
+  departed : int;
+  blocked : int;
+  blocking_probability : float;
+  reneg_attempts : int;
+  reneg_failures : int;
+  reneg_failure_probability : float;
+  buffer_loss_fraction : float;
+  p_f_point : float;
+  sim_time : float;
+  events : int;
+}
+
+type event = Depart of int | Change of int | Arrive
+
+(* [granted] is the rate the link has actually allocated to the flow; it
+   equals the source's desired rate except when an upward renegotiation
+   was blocked under [`Renegotiation_blocking]. *)
+type flow = { source : Mbac_traffic.Source.t; mutable granted : float }
+
+type state = {
+  cfg : config;
+  rng : Mbac_stats.Rng.t;
+  controller : Mbac.Controller.t;
+  make_source : Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t;
+  heap : event Event_heap.t;
+  flows : (int, flow) Hashtbl.t;
+  meas : Measurement.t;
+  buffer : Fluid_buffer.t option;
+  utility_stats : Mbac_stats.Welford.Weighted.t;
+  flow_count_stats : Mbac_stats.Welford.Weighted.t;
+  mutable now : float;
+  mutable n : int;
+  mutable sum_rate : float;
+  mutable sum_sq : float;
+  mutable next_fid : int;
+  mutable admitted : int;
+  mutable departed : int;
+  mutable blocked : int;
+  mutable reneg_attempts : int;
+  mutable reneg_failures : int;
+  mutable events : int;
+}
+
+let observation s =
+  Mbac.Observation.make ~now:s.now ~n:s.n ~sum_rate:s.sum_rate ~sum_sq:s.sum_sq
+
+(* Counter the slow drift of the incrementally-maintained sums by
+   recomputing them from scratch periodically. *)
+let resync_sums s =
+  let sum = ref 0.0 and sq = ref 0.0 in
+  Hashtbl.iter
+    (fun _ f ->
+      sum := !sum +. f.granted;
+      sq := !sq +. (f.granted *. f.granted))
+    s.flows;
+  s.sum_rate <- !sum;
+  s.sum_sq <- !sq
+
+let admit_one s =
+  let source = s.make_source s.rng ~start:s.now in
+  let fid = s.next_fid in
+  s.next_fid <- fid + 1;
+  let r = Mbac_traffic.Source.rate source in
+  Hashtbl.replace s.flows fid { source; granted = r };
+  s.n <- s.n + 1;
+  s.sum_rate <- s.sum_rate +. r;
+  s.sum_sq <- s.sum_sq +. (r *. r);
+  s.admitted <- s.admitted + 1;
+  let holding =
+    Mbac_stats.Sample.exponential s.rng ~mean:s.cfg.holding_time_mean
+  in
+  Event_heap.push s.heap ~time:(s.now +. holding) (Depart fid);
+  Event_heap.push s.heap ~time:(Mbac_traffic.Source.next_change source)
+    (Change fid)
+
+(* Infinite offered load: admit while the controller allows more flows
+   than are present.  Each admission is observed before the next
+   decision, so the controller reacts to its own admissions. *)
+let try_admit s =
+  let continue = ref true in
+  while !continue do
+    let obs = observation s in
+    let m = Mbac.Controller.admissible s.controller obs in
+    if s.n < m && s.n < s.cfg.max_flows then begin
+      admit_one s;
+      let obs' = observation s in
+      Mbac.Controller.observe s.controller obs';
+      Mbac.Controller.on_admit s.controller obs'
+    end
+    else continue := false
+  done
+
+(* One arriving flow under the Poisson process: a single yes/no decision. *)
+let handle_arrival s =
+  let obs = observation s in
+  Mbac.Controller.observe s.controller obs;
+  let m = Mbac.Controller.admissible s.controller obs in
+  if s.n < m && s.n < s.cfg.max_flows then begin
+    admit_one s;
+    let obs' = observation s in
+    Mbac.Controller.observe s.controller obs';
+    Mbac.Controller.on_admit s.controller obs'
+  end
+  else s.blocked <- s.blocked + 1;
+  match s.cfg.arrival with
+  | `Poisson rate ->
+      Event_heap.push s.heap
+        ~time:(s.now +. Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
+        Arrive
+  | `Infinite -> ()
+
+let record_segment s ~t0 ~t1 =
+  Measurement.record s.meas ~t0 ~t1 ~load:s.sum_rate;
+  (match s.buffer with
+  | Some b when t1 > t0 ->
+      (* feed through the warm-up (to build up a realistic level) but
+         discard the counters at the warm-up boundary, like the overflow
+         measurement does *)
+      if t0 < s.cfg.warmup && t1 > s.cfg.warmup then begin
+        Fluid_buffer.feed b ~duration:(s.cfg.warmup -. t0) ~load:s.sum_rate;
+        Fluid_buffer.reset_statistics b;
+        Fluid_buffer.feed b ~duration:(t1 -. s.cfg.warmup) ~load:s.sum_rate
+      end
+      else begin
+        Fluid_buffer.feed b ~duration:(t1 -. t0) ~load:s.sum_rate;
+        if t1 <= s.cfg.warmup then Fluid_buffer.reset_statistics b
+      end
+  | Some _ | None -> ());
+  if t1 > s.cfg.warmup then begin
+    let t0' = Float.max t0 s.cfg.warmup in
+    let w = t1 -. t0' in
+    Mbac_stats.Welford.Weighted.add s.flow_count_stats ~weight:w
+      (float_of_int s.n);
+    let f =
+      Mbac.Utility.delivered_fraction ~capacity:s.cfg.capacity ~load:s.sum_rate
+    in
+    Mbac_stats.Welford.Weighted.add s.utility_stats ~weight:w
+      (Mbac.Utility.eval s.cfg.utility f)
+  end
+
+let process_event s te payload =
+  record_segment s ~t0:s.now ~t1:te;
+  s.now <- te;
+  (match payload with
+  | Arrive -> handle_arrival s
+  | Depart fid -> (
+      match Hashtbl.find_opt s.flows fid with
+      | None -> () (* cannot happen for departures; kept safe *)
+      | Some f ->
+          Hashtbl.remove s.flows fid;
+          let r = f.granted in
+          s.n <- s.n - 1;
+          s.sum_rate <- s.sum_rate -. r;
+          s.sum_sq <- s.sum_sq -. (r *. r);
+          if s.n = 0 then begin
+            (* clear float-cancellation residue *)
+            s.sum_rate <- 0.0;
+            s.sum_sq <- 0.0
+          end;
+          s.departed <- s.departed + 1;
+          let obs = observation s in
+          Mbac.Controller.observe s.controller obs;
+          Mbac.Controller.on_depart s.controller obs)
+  | Change fid -> (
+      match Hashtbl.find_opt s.flows fid with
+      | None -> () (* stale event of a departed flow *)
+      | Some f ->
+          let old_granted = f.granted in
+          Mbac_traffic.Source.fire f.source ~now:te;
+          let desired = Mbac_traffic.Source.rate f.source in
+          s.reneg_attempts <- s.reneg_attempts + 1;
+          (* The paper's RCBR service (§2): "bandwidth renegotiations fail
+             when the current aggregate bandwidth demand exceeds the link
+             capacity".  We count an upward renegotiation as failed when
+             the post-change aggregate demand exceeds capacity.  The
+             dynamics remain those of the bufferless demand model: the
+             admission controller sees demands (a failed flow keeps
+             requesting), so blocking does not silently deflate the
+             measured load. *)
+          (match s.cfg.link with
+          | `Renegotiation_blocking
+            when desired > old_granted
+                 && s.sum_rate -. old_granted +. desired > s.cfg.capacity ->
+              s.reneg_failures <- s.reneg_failures + 1
+          | `Renegotiation_blocking | `Bufferless | `Buffered _ -> ());
+          f.granted <- desired;
+          s.sum_rate <- s.sum_rate +. desired -. old_granted;
+          s.sum_sq <-
+            s.sum_sq +. (desired *. desired) -. (old_granted *. old_granted);
+          Event_heap.push s.heap
+            ~time:(Mbac_traffic.Source.next_change f.source)
+            (Change fid);
+          Mbac.Controller.observe s.controller (observation s)));
+  match s.cfg.arrival with `Infinite -> try_admit s | `Poisson _ -> ()
+
+let run rng cfg ~controller ~make_source =
+  if cfg.capacity <= 0.0 then invalid_arg "Continuous_load.run: capacity <= 0";
+  if cfg.holding_time_mean <= 0.0 then
+    invalid_arg "Continuous_load.run: holding_time_mean <= 0";
+  (match cfg.arrival with
+  | `Poisson rate when rate <= 0.0 ->
+      invalid_arg "Continuous_load.run: Poisson rate <= 0"
+  | `Poisson _ | `Infinite -> ());
+  Mbac.Controller.reset controller;
+  let s =
+    { cfg; rng; controller; make_source;
+      heap = Event_heap.create ();
+      flows = Hashtbl.create 1024;
+      meas =
+        Measurement.create ~sample_spacing:cfg.batch_length
+          ~capacity:cfg.capacity ~warmup:cfg.warmup
+          ~batch_length:cfg.batch_length ();
+      buffer =
+        (match cfg.link with
+        | `Buffered size -> Some (Fluid_buffer.create ~capacity:cfg.capacity ~size)
+        | `Bufferless | `Renegotiation_blocking -> None);
+      utility_stats = Mbac_stats.Welford.Weighted.create ();
+      flow_count_stats = Mbac_stats.Welford.Weighted.create ();
+      now = 0.0; n = 0; sum_rate = 0.0; sum_sq = 0.0;
+      next_fid = 0; admitted = 0; departed = 0; blocked = 0;
+      reneg_attempts = 0; reneg_failures = 0; events = 0 }
+  in
+  Mbac.Controller.observe controller (observation s);
+  (match cfg.arrival with
+  | `Infinite -> try_admit s
+  | `Poisson rate ->
+      Event_heap.push s.heap
+        ~time:(Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
+        Arrive);
+  let stopped = ref None in
+  let running = ref true in
+  while !running do
+    (match Event_heap.pop s.heap with
+    | None -> running := false (* cannot happen while flows exist *)
+    | Some (te, payload) ->
+        process_event s te payload;
+        s.events <- s.events + 1;
+        if s.events mod 4_000_000 = 0 then resync_sums s;
+        if s.events mod cfg.check_every_events = 0 then begin
+          match
+            Measurement.check_stop ~confidence:cfg.confidence
+              ~rel_ci:cfg.rel_ci ~min_batches:cfg.min_batches s.meas
+              ~target:cfg.target_p_q
+          with
+          | Measurement.Running -> ()
+          | v ->
+              stopped := Some v;
+              running := false
+        end);
+    if s.now >= cfg.max_time || s.events >= cfg.max_events then running := false
+  done;
+  let p_f, estimate_kind, converged, ci_rel =
+    match !stopped with
+    | Some (Measurement.Converged { p_f; ci_rel }) -> (p_f, `Direct, true, ci_rel)
+    | Some (Measurement.Below_target { p_f_fit; _ }) ->
+        (p_f_fit, `Gaussian_fit, true, nan)
+    | Some Measurement.Running | None ->
+        let est, kind = Measurement.final_estimate s.meas ~target:cfg.target_p_q in
+        let ci =
+          Measurement.relative_half_width s.meas ~confidence:cfg.confidence
+        in
+        (est, kind, false, ci)
+  in
+  let mean_load = Measurement.load_mean s.meas in
+  { p_f; estimate_kind; converged; ci_rel;
+    mean_flows = Mbac_stats.Welford.Weighted.mean s.flow_count_stats;
+    mean_load;
+    std_load = Measurement.load_std s.meas;
+    utilization = mean_load /. cfg.capacity;
+    mean_utility = Mbac_stats.Welford.Weighted.mean s.utility_stats;
+    admitted = s.admitted;
+    departed = s.departed;
+    blocked = s.blocked;
+    blocking_probability =
+      (match cfg.arrival with
+      | `Infinite -> nan
+      | `Poisson _ ->
+          let offered = s.blocked + s.admitted in
+          if offered = 0 then nan
+          else float_of_int s.blocked /. float_of_int offered);
+    reneg_attempts = s.reneg_attempts;
+    reneg_failures = s.reneg_failures;
+    reneg_failure_probability =
+      (if s.reneg_attempts = 0 then nan
+       else float_of_int s.reneg_failures /. float_of_int s.reneg_attempts);
+    buffer_loss_fraction =
+      (match s.buffer with
+      | Some b -> Fluid_buffer.loss_time_fraction b
+      | None -> nan);
+    p_f_point = Measurement.point_fraction s.meas;
+    sim_time = s.now;
+    events = s.events }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "p_f=%.4g (%s%s, ci_rel=%.2g) util=%.3f mean_flows=%.1f load=%.2f±%.2f \
+     adm=%d dep=%d t=%.3g ev=%d"
+    r.p_f
+    (match r.estimate_kind with `Direct -> "direct" | `Gaussian_fit -> "fit")
+    (if r.converged then "" else ",capped")
+    r.ci_rel r.utilization r.mean_flows r.mean_load r.std_load r.admitted
+    r.departed r.sim_time r.events;
+  if not (Float.is_nan r.blocking_probability) then
+    Format.fprintf fmt " blocking=%.4g" r.blocking_probability;
+  if not (Float.is_nan r.reneg_failure_probability) && r.reneg_failures > 0
+  then Format.fprintf fmt " reneg_fail=%.4g" r.reneg_failure_probability;
+  if not (Float.is_nan r.buffer_loss_fraction) then
+    Format.fprintf fmt " buffer_loss=%.4g" r.buffer_loss_fraction

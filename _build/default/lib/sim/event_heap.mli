@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by event time — the simulator's event queue.
+    Ties are broken by insertion order (FIFO), which keeps runs
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on NaN time. *)
+
+val peek_time : 'a t -> float option
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,63 @@
+(** Monte-Carlo drivers for the impulsive-load models of §3: a burst of
+    flows demands admission at time 0; the certainty-equivalent MBAC
+    admits M_0 of them based on their initial rates. *)
+
+type admission = {
+  m_0 : int;          (** number of flows admitted *)
+  mu_hat : float;     (** mean estimated from the offered burst *)
+  sigma_hat : float;  (** std estimated from the offered burst *)
+}
+
+val admit_burst :
+  Mbac_stats.Rng.t ->
+  n_offered:int ->
+  capacity:float ->
+  alpha_ce:float ->
+  make_source:(Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t) ->
+  admission * Mbac_traffic.Source.t array
+(** Create [n_offered] sources, estimate (mu, sigma) from their time-0
+    rates with the eqn (7) estimators, and admit the first M_0 of them
+    per the certainty-equivalent criterion at [alpha_ce] (flows are
+    i.i.d., so which ones are admitted does not matter).  Returns the
+    admission record and the admitted sources. *)
+
+val m0_samples :
+  Mbac_stats.Rng.t ->
+  replications:int ->
+  n_offered:int ->
+  capacity:float ->
+  alpha_ce:float ->
+  make_source:(Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t) ->
+  float array
+(** Replicated M_0 draws (for checking Prop 3.1's Gaussian limit). *)
+
+val steady_state_overflow :
+  Mbac_stats.Rng.t ->
+  replications:int ->
+  n_offered:int ->
+  capacity:float ->
+  alpha_ce:float ->
+  decorrelate_time:float ->
+  samples_per_replication:int ->
+  sample_spacing:float ->
+  make_source:(Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t) ->
+  float * float
+(** Infinite-holding-time steady state (Prop 3.3): admit a burst, let the
+    sources decorrelate from the admission instant for
+    [decorrelate_time], then sample the overflow indicator at
+    [samples_per_replication] points spaced [sample_spacing] apart.
+    Returns (p_f estimate, standard error across replications). *)
+
+val overflow_vs_time :
+  Mbac_stats.Rng.t ->
+  replications:int ->
+  n_offered:int ->
+  capacity:float ->
+  alpha_ce:float ->
+  holding_time_mean:float ->
+  times:float array ->
+  make_source:(Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t) ->
+  float array
+(** Finite-holding-time transient (§3.2, eqn (21)): admit a burst at 0,
+    let flows depart (exponential holding times), and estimate the
+    overflow probability at each requested time across replications. *)

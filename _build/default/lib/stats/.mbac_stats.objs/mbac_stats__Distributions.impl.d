@@ -1,0 +1,1 @@
+lib/stats/distributions.ml: Gaussian Special

@@ -1,0 +1,63 @@
+type t = {
+  batch_length : float;
+  mutable current_weight : float;
+  mutable current_sum : float; (* weighted sum within the open batch *)
+  mutable batches : float list; (* completed batch means, newest first *)
+  mutable n_batches : int;
+}
+
+let create ~batch_length =
+  if batch_length <= 0.0 then
+    invalid_arg "Batch_means.create: requires batch_length > 0";
+  { batch_length; current_weight = 0.0; current_sum = 0.0; batches = []; n_batches = 0 }
+
+let close_batch t =
+  t.batches <- (t.current_sum /. t.current_weight) :: t.batches;
+  t.n_batches <- t.n_batches + 1;
+  t.current_weight <- 0.0;
+  t.current_sum <- 0.0
+
+let rec add t ~weight x =
+  if weight < 0.0 then invalid_arg "Batch_means.add: negative weight";
+  if weight > 0.0 then begin
+    let room = t.batch_length -. t.current_weight in
+    if weight < room then begin
+      t.current_weight <- t.current_weight +. weight;
+      t.current_sum <- t.current_sum +. (weight *. x)
+    end
+    else begin
+      (* Fill the batch exactly, close it, and spill the rest over. *)
+      t.current_weight <- t.batch_length;
+      t.current_sum <- t.current_sum +. (room *. x);
+      close_batch t;
+      let rest = weight -. room in
+      if rest > 0.0 then add t ~weight:rest x
+    end
+  end
+
+let completed_batches t = t.n_batches
+
+let batch_means t = Array.of_list (List.rev t.batches)
+
+let mean t =
+  if t.n_batches = 0 then nan
+  else List.fold_left ( +. ) 0.0 t.batches /. float_of_int t.n_batches
+
+let half_width t ~confidence =
+  if t.n_batches < 2 then infinity
+  else begin
+    let means = batch_means t in
+    let s = Descriptive.std means in
+    let df = float_of_int (t.n_batches - 1) in
+    let tc =
+      Distributions.Student_t.quantile ~df (1.0 -. ((1.0 -. confidence) /. 2.0))
+    in
+    tc *. s /. sqrt (float_of_int t.n_batches)
+  end
+
+let relative_half_width t ~confidence =
+  let m = mean t in
+  if Float.is_nan m || m = 0.0 then infinity
+  else
+    let hw = half_width t ~confidence in
+    hw /. abs_float m

@@ -1,0 +1,32 @@
+(** Batch-means confidence intervals for steady-state simulation output.
+
+    The simulator produces correlated observations (the overflow indicator
+    of successive intervals).  Grouping them into long batches makes the
+    batch means approximately i.i.d.; a Student-t interval on the batch
+    means is the paper's §5.2 stopping-rule machinery. *)
+
+type t
+
+val create : batch_length:float -> t
+(** [batch_length] is the amount of weight (e.g. simulated time) per batch. *)
+
+val add : t -> weight:float -> float -> unit
+(** Add an observation with the given weight (time span).  Observations are
+    folded into the current batch; full batches are closed automatically.
+    A single observation heavier than the remaining batch capacity is split
+    across consecutive batches. *)
+
+val completed_batches : t -> int
+
+val mean : t -> float
+(** Weighted mean over all completed batches; [nan] if none. *)
+
+val half_width : t -> confidence:float -> float
+(** Student-t half-width of the confidence interval over completed batch
+    means; [infinity] with fewer than 2 batches. *)
+
+val relative_half_width : t -> confidence:float -> float
+(** [half_width / |mean|]; [infinity] when the mean is 0 or batches < 2. *)
+
+val batch_means : t -> float array
+(** The completed batch means, oldest first. *)

@@ -1,0 +1,80 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let quantile xs p =
+  check_nonempty "quantile" xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let i = int_of_float (floor h) in
+    let i = Stdlib.min i (n - 2) in
+    let frac = h -. float_of_int i in
+    sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+let median xs = quantile xs 0.5
+
+let central_moment xs k =
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** float_of_int k)) 0.0 xs
+  /. float_of_int (Array.length xs)
+
+let skewness xs =
+  if Array.length xs < 3 then 0.0
+  else begin
+    let m2 = central_moment xs 2 in
+    if m2 <= 0.0 then 0.0 else central_moment xs 3 /. (m2 ** 1.5)
+  end
+
+let kurtosis_excess xs =
+  if Array.length xs < 4 then 0.0
+  else begin
+    let m2 = central_moment xs 2 in
+    if m2 <= 0.0 then 0.0 else (central_moment xs 4 /. (m2 *. m2)) -. 3.0
+  end
+
+let autocovariance xs k =
+  let n = Array.length xs in
+  if k < 0 || k >= n then invalid_arg "Descriptive.autocovariance: bad lag";
+  let m = mean xs in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 - k do
+    acc := !acc +. ((xs.(i) -. m) *. (xs.(i + k) -. m))
+  done;
+  !acc /. float_of_int n
+
+let autocorrelation xs k =
+  let c0 = autocovariance xs 0 in
+  if c0 <= 0.0 then 0.0 else autocovariance xs k /. c0
+
+let acf xs ~max_lag =
+  let n = Array.length xs in
+  let max_lag = Stdlib.min max_lag (n - 1) in
+  Array.init (max_lag + 1) (fun k -> autocorrelation xs k)

@@ -1,0 +1,34 @@
+(** Descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.] for arrays of length < 2. *)
+
+val std : float array -> float
+val min : float array -> float
+val max : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [0 <= p <= 1], linear interpolation between order
+    statistics (type-7).  Does not mutate the input.
+    @raise Invalid_argument on empty input or p outside [0,1]. *)
+
+val median : float array -> float
+
+val skewness : float array -> float
+(** Sample skewness (g1); [0.] when undefined. *)
+
+val kurtosis_excess : float array -> float
+(** Excess kurtosis (g2); [0.] when undefined. *)
+
+val autocovariance : float array -> int -> float
+(** [autocovariance xs k] is the biased (1/n) lag-[k] autocovariance.
+    @raise Invalid_argument if [k < 0 || k >= length]. *)
+
+val autocorrelation : float array -> int -> float
+(** Lag-[k] autocorrelation; [0.] when the variance vanishes. *)
+
+val acf : float array -> max_lag:int -> float array
+(** First [max_lag+1] autocorrelations (index 0 is 1.0). *)

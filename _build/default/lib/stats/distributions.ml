@@ -1,0 +1,68 @@
+(* Generic monotone-CDF inversion by bisection; good enough for test and
+   CI usage where we need ~1e-10 accuracy, not speed. *)
+let invert_cdf ?(lo = -1e8) ?(hi = 1e8) cdf p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Distributions.invert_cdf: requires 0 < p < 1";
+  let rec widen lo hi n =
+    if n > 200 then (lo, hi)
+    else if cdf lo > p then widen (lo *. 2.0) hi (n + 1)
+    else if cdf hi < p then widen lo (hi *. 2.0) (n + 1)
+    else (lo, hi)
+  in
+  let lo, hi = widen lo hi 0 in
+  let rec bisect lo hi n =
+    if n > 200 || hi -. lo < 1e-12 *. (1.0 +. abs_float lo) then
+      0.5 *. (lo +. hi)
+    else
+      let mid = 0.5 *. (lo +. hi) in
+      if cdf mid < p then bisect mid hi (n + 1) else bisect lo mid (n + 1)
+  in
+  bisect lo hi 0
+
+module Student_t = struct
+  let cdf ~df t =
+    if df <= 0.0 then invalid_arg "Student_t.cdf: requires df > 0";
+    if t = 0.0 then 0.5
+    else
+      let x = df /. (df +. (t *. t)) in
+      let tail = 0.5 *. Special.ibeta ~a:(df /. 2.0) ~b:0.5 x in
+      if t > 0.0 then 1.0 -. tail else tail
+
+  let quantile ~df p =
+    if df <= 0.0 then invalid_arg "Student_t.quantile: requires df > 0";
+    invert_cdf (cdf ~df) p
+end
+
+module Chi_square = struct
+  let cdf ~df x =
+    if df <= 0.0 then invalid_arg "Chi_square.cdf: requires df > 0";
+    if x <= 0.0 then 0.0 else Special.igamma_p ~a:(df /. 2.0) (x /. 2.0)
+
+  let quantile ~df p =
+    if df <= 0.0 then invalid_arg "Chi_square.quantile: requires df > 0";
+    invert_cdf ~lo:0.0 ~hi:(df *. 10.0 +. 100.0) (cdf ~df) p
+end
+
+module Exponential = struct
+  let cdf ~mean x =
+    if mean <= 0.0 then invalid_arg "Exponential.cdf: requires mean > 0";
+    if x <= 0.0 then 0.0 else 1.0 -. exp (-.x /. mean)
+
+  let quantile ~mean p =
+    if mean <= 0.0 then invalid_arg "Exponential.quantile: requires mean > 0";
+    if not (p >= 0.0 && p < 1.0) then
+      invalid_arg "Exponential.quantile: requires 0 <= p < 1";
+    -.mean *. log (1.0 -. p)
+end
+
+module Lognormal = struct
+  let cdf ~mu_log ~sigma_log x =
+    if x <= 0.0 then 0.0
+    else Gaussian.cdf ((log x -. mu_log) /. sigma_log)
+
+  let mean ~mu_log ~sigma_log = exp (mu_log +. (0.5 *. sigma_log *. sigma_log))
+
+  let variance ~mu_log ~sigma_log =
+    let s2 = sigma_log *. sigma_log in
+    (exp s2 -. 1.0) *. exp ((2.0 *. mu_log) +. s2)
+end

@@ -1,0 +1,27 @@
+(** CDFs and quantiles for the distributions used by the test harness and
+    the confidence-interval machinery. *)
+
+module Student_t : sig
+  val cdf : df:float -> float -> float
+  (** @raise Invalid_argument if [df <= 0]. *)
+
+  val quantile : df:float -> float -> float
+  (** [quantile ~df p] for [0 < p < 1]; two-sided critical values come from
+      [quantile ~df (1 -. alpha /. 2.)]. *)
+end
+
+module Chi_square : sig
+  val cdf : df:float -> float -> float
+  val quantile : df:float -> float -> float
+end
+
+module Exponential : sig
+  val cdf : mean:float -> float -> float
+  val quantile : mean:float -> float -> float
+end
+
+module Lognormal : sig
+  val cdf : mu_log:float -> sigma_log:float -> float -> float
+  val mean : mu_log:float -> sigma_log:float -> float
+  val variance : mu_log:float -> sigma_log:float -> float
+end

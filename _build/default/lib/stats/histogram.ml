@@ -1,0 +1,61 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  width : float;
+  counts : int array;
+  mutable total : int;
+  mutable under : int;
+  mutable over : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: requires hi > lo";
+  if bins <= 0 then invalid_arg "Histogram.create: requires bins > 0";
+  { lo; hi; bins; width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0; total = 0; under = 0; over = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = min i (t.bins - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let underflow t = t.under
+let overflow t = t.over
+let counts t = Array.copy t.counts
+
+let bin_edges t =
+  Array.init (t.bins + 1) (fun i -> t.lo +. (float_of_int i *. t.width))
+
+let density t =
+  if t.total = 0 then Array.make t.bins 0.0
+  else
+    Array.map
+      (fun c -> float_of_int c /. (float_of_int t.total *. t.width))
+      t.counts
+
+let cdf_at t x =
+  if t.total = 0 then 0.0
+  else if x < t.lo then 0.0
+  else begin
+    let below = ref t.under in
+    let full_bins = int_of_float ((x -. t.lo) /. t.width) in
+    let full_bins = min full_bins t.bins in
+    for i = 0 to full_bins - 1 do
+      below := !below + t.counts.(i)
+    done;
+    let frac =
+      if full_bins >= t.bins then 0.0
+      else begin
+        let bin_start = t.lo +. (float_of_int full_bins *. t.width) in
+        (x -. bin_start) /. t.width *. float_of_int t.counts.(full_bins)
+      end
+    in
+    (float_of_int !below +. frac) /. float_of_int t.total
+  end

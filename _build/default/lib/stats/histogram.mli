@@ -1,0 +1,27 @@
+(** Fixed-bin histograms for diagnostics and distribution checks. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [hi <= lo] or [bins <= 0]. *)
+
+val add : t -> float -> unit
+(** Values outside [lo, hi) are counted in the under/overflow tallies. *)
+
+val count : t -> int
+(** Total observations, including out-of-range ones. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val counts : t -> int array
+val bin_edges : t -> float array
+(** [bins + 1] edges. *)
+
+val density : t -> float array
+(** Normalised so the histogram integrates to the in-range probability
+    mass; empty histogram yields all zeros. *)
+
+val cdf_at : t -> float -> float
+(** Empirical CDF evaluated at a point (in-range linear in bins;
+    counts underflow mass below [lo]). *)

@@ -1,0 +1,100 @@
+(* least-squares slope of ys against xs *)
+let slope xs ys =
+  let n = float_of_int (Array.length xs) in
+  let sx = Array.fold_left ( +. ) 0.0 xs /. n in
+  let sy = Array.fold_left ( +. ) 0.0 ys /. n in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      num := !num +. ((x -. sx) *. (ys.(i) -. sy));
+      den := !den +. ((x -. sx) *. (x -. sx)))
+    xs;
+  !num /. !den
+
+let log_block_sizes ~min_block ~max_block ~n_scales =
+  let lo = log (float_of_int min_block) and hi = log (float_of_int max_block) in
+  let sizes =
+    Array.init n_scales (fun i ->
+        let t = float_of_int i /. float_of_int (n_scales - 1) in
+        int_of_float (exp (lo +. (t *. (hi -. lo)))))
+  in
+  (* dedupe while preserving order *)
+  let seen = Hashtbl.create 16 in
+  Array.of_list
+    (List.filter
+       (fun m ->
+         if Hashtbl.mem seen m then false
+         else begin
+           Hashtbl.add seen m ();
+           true
+         end)
+       (Array.to_list sizes))
+
+let block_means xs m =
+  let k = Array.length xs / m in
+  Array.init k (fun i ->
+      let acc = ref 0.0 in
+      for j = i * m to ((i + 1) * m) - 1 do
+        acc := !acc +. xs.(j)
+      done;
+      !acc /. float_of_int m)
+
+let aggregated_variance ?(min_block = 4) ?(n_scales = 12) xs =
+  let n = Array.length xs in
+  if n < 8 * min_block then
+    invalid_arg "Hurst.aggregated_variance: series too short";
+  let max_block = n / 8 in
+  let blocks = log_block_sizes ~min_block ~max_block ~n_scales in
+  let log_m = Array.map (fun m -> log (float_of_int m)) blocks in
+  let log_v =
+    Array.map
+      (fun m -> log (Descriptive.variance (block_means xs m) +. 1e-300))
+      blocks
+  in
+  let s = slope log_m log_v in
+  (* Var(X^(m)) ~ m^{2H-2} *)
+  (s +. 2.0) /. 2.0
+
+let rs_statistic xs =
+  (* R/S of one block: range of the mean-adjusted cumulative sum over the
+     sample standard deviation *)
+  let n = Array.length xs in
+  let mean = Descriptive.mean xs in
+  let cum = ref 0.0 and lo = ref 0.0 and hi = ref 0.0 in
+  Array.iter
+    (fun x ->
+      cum := !cum +. (x -. mean);
+      if !cum < !lo then lo := !cum;
+      if !cum > !hi then hi := !cum)
+    xs;
+  let s =
+    sqrt
+      (Array.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0.0 xs
+      /. float_of_int n)
+  in
+  if s <= 0.0 then nan else (!hi -. !lo) /. s
+
+let rescaled_range ?(min_block = 8) ?(n_scales = 10) xs =
+  let n = Array.length xs in
+  if n < 8 * min_block then invalid_arg "Hurst.rescaled_range: series too short";
+  let max_block = n / 4 in
+  let blocks = log_block_sizes ~min_block ~max_block ~n_scales in
+  let points =
+    Array.to_list blocks
+    |> List.filter_map (fun m ->
+           (* average R/S over the disjoint blocks of size m *)
+           let k = n / m in
+           let acc = ref 0.0 and cnt = ref 0 in
+           for i = 0 to k - 1 do
+             let rs = rs_statistic (Array.sub xs (i * m) m) in
+             if not (Float.is_nan rs) then begin
+               acc := !acc +. rs;
+               incr cnt
+             end
+           done;
+           if !cnt = 0 then None
+           else Some (log (float_of_int m), log (!acc /. float_of_int !cnt)))
+  in
+  let xs' = Array.of_list (List.map fst points) in
+  let ys' = Array.of_list (List.map snd points) in
+  slope xs' ys'

@@ -1,0 +1,14 @@
+(** Hurst-parameter estimation for long-range-dependence diagnostics —
+    the statistics used to characterise traces like the Starwars MPEG
+    video in the paper's Figs 11–12 (Garrett–Willinger, Beran et al.). *)
+
+val aggregated_variance : ?min_block:int -> ?n_scales:int -> float array -> float
+(** The variance–time estimator: for block sizes m on a log grid, compute
+    the variance of the m-aggregated (block-mean) series; regress
+    log Var(X^{(m)}) on log m — the slope is 2H - 2.
+    Defaults: [min_block = 4], [n_scales = 12].
+    @raise Invalid_argument if the series is shorter than ~8 min_block. *)
+
+val rescaled_range : ?min_block:int -> ?n_scales:int -> float array -> float
+(** The classical R/S estimator: E[R/S](m) ~ C m^H; the slope of
+    log(R/S) against log m estimates H. *)

@@ -1,0 +1,41 @@
+let statistic ~cdf xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Ks_test.statistic: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let nf = float_of_int n in
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      (* empirical CDF jumps at each order statistic: compare both sides *)
+      let lo = float_of_int i /. nf in
+      let hi = float_of_int (i + 1) /. nf in
+      d := Float.max !d (Float.max (abs_float (f -. lo)) (abs_float (hi -. f))))
+    sorted;
+  !d
+
+let p_value ~n d =
+  if d <= 0.0 then 1.0
+  else begin
+    let nf = float_of_int n in
+    let d_eff = d *. (sqrt nf +. 0.12 +. (0.11 /. sqrt nf)) in
+    let x = d_eff *. d_eff in
+    (* alternating series; terms decay like exp(-2 k^2 x) *)
+    let rec sum k acc =
+      if k > 100 then acc
+      else begin
+        let term =
+          (if k mod 2 = 1 then 2.0 else -2.0)
+          *. exp (-2.0 *. float_of_int (k * k) *. x)
+        in
+        if abs_float term < 1e-12 then acc +. term
+        else sum (k + 1) (acc +. term)
+      end
+    in
+    Float.max 0.0 (Float.min 1.0 (sum 1 0.0))
+  end
+
+let test ~cdf ~alpha xs =
+  let d = statistic ~cdf xs in
+  p_value ~n:(Array.length xs) d >= alpha

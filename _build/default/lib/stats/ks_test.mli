@@ -1,0 +1,22 @@
+(** One-sample Kolmogorov–Smirnov goodness-of-fit test.
+
+    Used by the test-suite and diagnostics to check the functional-CLT
+    assumption B.6 empirically: the scaled aggregate of many independent
+    flows should be approximately Gaussian. *)
+
+val statistic : cdf:(float -> float) -> float array -> float
+(** [statistic ~cdf xs] is the KS statistic
+    D_n = sup_x |F_n(x) - cdf(x)| of the sample against a continuous
+    reference CDF.  @raise Invalid_argument on an empty sample. *)
+
+val p_value : n:int -> float -> float
+(** [p_value ~n d] is the asymptotic (Kolmogorov distribution) p-value of
+    statistic [d] for sample size [n]:
+    P(D > d) ~ 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 n d^2),
+    with the Stephens finite-n correction
+    d_eff = d (sqrt n + 0.12 + 0.11/sqrt n). *)
+
+val test : cdf:(float -> float) -> alpha:float -> float array -> bool
+(** [test ~cdf ~alpha xs] is [true] when the sample is {e consistent}
+    with the reference distribution at level [alpha] (i.e. p >= alpha —
+    failing to reject). *)

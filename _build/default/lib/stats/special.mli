@@ -1,0 +1,32 @@
+(** Special functions needed by the MBAC analysis: error functions, log-gamma,
+    and regularized incomplete beta/gamma functions.
+
+    All functions operate on IEEE doubles.  Accuracy targets (verified by the
+    test suite against high-precision reference values): [erf]/[erfc] better
+    than 1e-13 relative over the ranges exercised by the admission-control
+    formulas; incomplete beta/gamma better than 1e-10. *)
+
+val erf : float -> float
+(** [erf x] is the error function (2/sqrt pi) int_0^x exp(-t^2) dt. *)
+
+val erfc : float -> float
+(** [erfc x = 1 - erf x], computed without cancellation for large [x]
+    (usable down to [erfc 26] ~ 1e-296). *)
+
+val log_erfc : float -> float
+(** [log_erfc x = log (erfc x)], accurate even when [erfc x] underflows
+    (valid for [x] up to ~1e4). *)
+
+val lgamma : float -> float
+(** [lgamma x] is log (Gamma x) for [x > 0] (Lanczos approximation). *)
+
+val ibeta : a:float -> b:float -> float -> float
+(** [ibeta ~a ~b x] is the regularized incomplete beta function I_x(a,b)
+    for [0 <= x <= 1], [a, b > 0]. *)
+
+val igamma_p : a:float -> float -> float
+(** [igamma_p ~a x] is the regularized lower incomplete gamma P(a,x)
+    for [x >= 0], [a > 0]. *)
+
+val igamma_q : a:float -> float -> float
+(** [igamma_q ~a x = 1 - igamma_p ~a x], the upper tail. *)

@@ -1,0 +1,48 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let variance_population t = if t.n = 0 then 0.0 else t.m2 /. float_of_int t.n
+let std t = sqrt (variance t)
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  else
+    let n = a.n + b.n in
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. nb /. float_of_int n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. float_of_int n) in
+    { n; mean; m2 }
+
+module Weighted = struct
+  type t = { mutable w : float; mutable mean : float; mutable s : float }
+
+  let create () = { w = 0.0; mean = 0.0; s = 0.0 }
+
+  let add t ~weight x =
+    if weight < 0.0 then invalid_arg "Welford.Weighted.add: negative weight";
+    if weight > 0.0 then begin
+      let w' = t.w +. weight in
+      let delta = x -. t.mean in
+      let r = delta *. weight /. w' in
+      t.mean <- t.mean +. r;
+      t.s <- t.s +. (t.w *. delta *. r);
+      t.w <- w'
+    end
+
+  let total_weight t = t.w
+  let mean t = t.mean
+  let variance t = if t.w <= 0.0 then 0.0 else t.s /. t.w
+  let std t = sqrt (variance t)
+end

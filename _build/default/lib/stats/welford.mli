@@ -1,0 +1,38 @@
+(** Numerically stable online first/second-moment accumulators.
+
+    [t] is the classical Welford accumulator; [Weighted] supports
+    non-uniform (e.g. time-) weights, which is how the simulator computes
+    time-weighted aggregate-bandwidth statistics. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations so far; [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than 2 observations. *)
+
+val variance_population : t -> float
+(** Population (biased, 1/n) variance; [0.] when empty. *)
+
+val std : t -> float
+val merge : t -> t -> t
+(** [merge a b] is the accumulator of the union of both observation sets. *)
+
+module Weighted : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> weight:float -> float -> unit
+  (** @raise Invalid_argument on negative weight. *)
+
+  val total_weight : t -> float
+  val mean : t -> float
+  val variance : t -> float
+  (** Weighted population variance (weights treated as frequencies/time). *)
+
+  val std : t -> float
+end

@@ -1,0 +1,1 @@
+lib/traffic/aggregate.ml: Array List Mbac_stats Source

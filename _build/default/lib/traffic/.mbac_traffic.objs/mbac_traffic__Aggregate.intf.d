@@ -1,0 +1,1 @@
+lib/traffic/aggregate.mli: Mbac_stats Source

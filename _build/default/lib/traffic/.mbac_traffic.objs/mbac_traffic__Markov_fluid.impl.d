@@ -1,0 +1,1 @@
+lib/traffic/markov_fluid.ml: Array Mbac_numerics Mbac_stats Source

@@ -1,0 +1,1 @@
+lib/traffic/markov_fluid.mli: Mbac_stats Source

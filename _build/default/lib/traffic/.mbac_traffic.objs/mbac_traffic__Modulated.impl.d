@@ -1,0 +1,1 @@
+lib/traffic/modulated.ml: Array Float Source

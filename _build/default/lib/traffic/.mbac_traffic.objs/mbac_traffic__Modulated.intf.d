@@ -1,0 +1,1 @@
+lib/traffic/modulated.mli: Source

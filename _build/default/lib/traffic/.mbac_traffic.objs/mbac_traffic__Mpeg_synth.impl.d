@@ -1,0 +1,1 @@
+lib/traffic/mpeg_synth.ml: Array Float Mbac_numerics Mbac_stats Trace

@@ -1,0 +1,1 @@
+lib/traffic/mpeg_synth.mli: Mbac_stats Trace

@@ -1,0 +1,1 @@
+lib/traffic/onoff.ml: Mbac_stats Source

@@ -1,0 +1,1 @@
+lib/traffic/onoff.mli: Mbac_stats Source

@@ -1,0 +1,1 @@
+lib/traffic/ou_source.ml: Float Mbac_stats Source

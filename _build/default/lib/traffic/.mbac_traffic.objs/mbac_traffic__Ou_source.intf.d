@@ -1,0 +1,1 @@
+lib/traffic/ou_source.mli: Mbac_stats Source

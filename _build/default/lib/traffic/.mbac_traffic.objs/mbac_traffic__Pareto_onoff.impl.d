@@ -1,0 +1,1 @@
+lib/traffic/pareto_onoff.ml: Mbac_stats Source

@@ -1,0 +1,1 @@
+lib/traffic/pareto_onoff.mli: Mbac_stats Source

@@ -1,0 +1,1 @@
+lib/traffic/rcbr.ml: Mbac_stats Source

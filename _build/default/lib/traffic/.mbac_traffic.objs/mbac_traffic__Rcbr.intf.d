@@ -1,0 +1,1 @@
+lib/traffic/rcbr.mli: Mbac_stats Source

@@ -1,0 +1,1 @@
+lib/traffic/renegotiate.ml: Array Mbac_stats Trace

@@ -1,0 +1,1 @@
+lib/traffic/renegotiate.mli: Trace

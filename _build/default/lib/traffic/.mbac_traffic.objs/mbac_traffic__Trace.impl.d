@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Buffer List Mbac_numerics Mbac_stats Printf String

@@ -1,0 +1,1 @@
+lib/traffic/trace_source.ml: Array Float Mbac_stats Source Trace

@@ -1,0 +1,27 @@
+(** Non-stationary traffic: wrap any source with a piecewise-constant
+    modulation schedule that scales its emitted rate over time.
+
+    The paper's stationarity assumption holds only "within the memory
+    time-scale" (§2); this wrapper lets the experiments inject level
+    shifts and test how estimator memory trades adaptation speed against
+    smoothing. *)
+
+type schedule = (float * float) array
+(** [(t_i, factor_i)]: from time [t_i] (inclusive) the source's rate is
+    multiplied by [factor_i].  Must be sorted by time with the first
+    entry at or before the source's start; factors must be positive. *)
+
+val validate_schedule : schedule -> unit
+(** @raise Invalid_argument on unsorted times or non-positive factors. *)
+
+val factor_at : schedule -> float -> float
+(** The multiplier in force at a given time. *)
+
+val create : start:float -> schedule -> Source.t -> Source.t
+(** [create ~start schedule inner] emits [factor(t) * rate(inner)] for a
+    flow whose clock begins at [start] (must match the inner source's
+    start).  Rate-change epochs are the union of the inner source's
+    epochs and the schedule's switch times after [start].  The declared
+    nominal mean/variance are the inner source's scaled by the factor in
+    force at [start] (the schedule is a perturbation, not part of the
+    stationary description). *)

@@ -1,0 +1,69 @@
+type params = {
+  mean_rate : float;
+  cv : float;
+  hurst : float;
+  frame_dt : float;
+  scene_mean_frames : float;
+  scene_cv : float;
+  scene_weight : float;
+}
+
+let default_params ~mean_rate =
+  { mean_rate; cv = 0.55; hurst = 0.85; frame_dt = 1.0 /. 24.0;
+    scene_mean_frames = 240.0; scene_cv = 0.35; scene_weight = 0.4 }
+
+let validate p =
+  if p.mean_rate <= 0.0 then invalid_arg "Mpeg_synth: requires mean_rate > 0";
+  if p.cv <= 0.0 then invalid_arg "Mpeg_synth: requires cv > 0";
+  if not (p.hurst > 0.0 && p.hurst < 1.0) then
+    invalid_arg "Mpeg_synth: requires 0 < hurst < 1";
+  if p.frame_dt <= 0.0 then invalid_arg "Mpeg_synth: requires frame_dt > 0";
+  if p.scene_mean_frames < 1.0 then
+    invalid_arg "Mpeg_synth: requires scene_mean_frames >= 1";
+  if not (p.scene_weight >= 0.0 && p.scene_weight <= 1.0) then
+    invalid_arg "Mpeg_synth: requires scene_weight in [0,1]"
+
+let generate rng p ~frames =
+  validate p;
+  if frames <= 0 then invalid_arg "Mpeg_synth.generate: requires frames > 0";
+  (* 1. LRD base: lognormal transform of fGn -> skewed, long-memory. *)
+  let fgn = Mbac_numerics.Fgn.generate rng ~hurst:p.hurst ~n:frames in
+  let base = Array.map (fun z -> exp (0.5 *. z)) fgn in
+  (* 2. Scene levels: piecewise-constant lognormal multipliers. *)
+  let scene = Array.make frames 1.0 in
+  let i = ref 0 in
+  while !i < frames do
+    let level =
+      Mbac_stats.Sample.lognormal_of_moments rng ~mean:1.0 ~std:p.scene_cv
+    in
+    let len =
+      1 + int_of_float (Mbac_stats.Sample.exponential rng ~mean:p.scene_mean_frames)
+    in
+    let stop = min frames (!i + len) in
+    for j = !i to stop - 1 do
+      scene.(j) <- level
+    done;
+    i := stop
+  done;
+  (* 3. Blend: convex combination in the rate domain, weighted by
+     scene_weight, then match mean and cv by affine rescale. *)
+  let raw =
+    Array.init frames (fun j ->
+        let s = scene.(j) and b = base.(j) in
+        ((1.0 -. p.scene_weight) *. b) +. (p.scene_weight *. s *. b))
+  in
+  let m = Mbac_stats.Descriptive.mean raw in
+  let sd =
+    let acc = ref 0.0 in
+    Array.iter (fun r -> acc := !acc +. ((r -. m) *. (r -. m))) raw;
+    sqrt (!acc /. float_of_int frames)
+  in
+  let target_sd = p.cv *. p.mean_rate in
+  let rates =
+    if sd <= 0.0 then Array.map (fun _ -> p.mean_rate) raw
+    else
+      Array.map
+        (fun r -> Float.max 0.0 (p.mean_rate +. ((r -. m) *. target_sd /. sd)))
+        raw
+  in
+  Trace.create ~dt:p.frame_dt rates

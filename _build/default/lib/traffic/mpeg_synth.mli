@@ -1,0 +1,38 @@
+(** Synthetic "Starwars-like" VBR video traffic.
+
+    The paper's Figures 11–12 use the MPEG-1 Starwars trace
+    (Garrett–Willinger), which exhibits long-range dependence with Hurst
+    parameter ~0.8–0.9 and a right-skewed marginal.  That trace is not
+    redistributable, so this module synthesises a statistically similar
+    rate process (the substitution is documented in DESIGN.md §3):
+
+    - a fractional Gaussian noise base (circulant embedding, exact ACF)
+      supplies the long-range dependence;
+    - a scene process (exponential scene lengths, lognormal scene levels)
+      supplies the slow time-scale level shifts typical of film content;
+    - a lognormal transform of the fGn supplies the skewed marginal;
+    - mean and coefficient of variation are then matched exactly by an
+      affine rescale.
+
+    What matters for the experiments is (a) correlation well beyond any
+    estimator memory window and (b) a non-Gaussian marginal; both are
+    reproduced. *)
+
+type params = {
+  mean_rate : float;        (** target mean rate *)
+  cv : float;               (** coefficient of variation (std/mean) *)
+  hurst : float;            (** Hurst parameter of the fGn base *)
+  frame_dt : float;         (** sample spacing of the output trace *)
+  scene_mean_frames : float;(** mean scene length, in samples *)
+  scene_cv : float;         (** scene level variability (lognormal cv) *)
+  scene_weight : float;     (** in [0,1]: share of variance from scenes *)
+}
+
+val default_params : mean_rate:float -> params
+(** cv = 0.55, hurst = 0.85, frame_dt chosen so 24 samples per time unit,
+    mean scene 240 frames, scene_cv = 0.35, scene_weight = 0.4 — matching
+    published statistics of the Starwars MPEG-1 trace. *)
+
+val generate : Mbac_stats.Rng.t -> params -> frames:int -> Trace.t
+(** Generate a trace of [frames] samples.
+    @raise Invalid_argument on nonsensical parameters. *)

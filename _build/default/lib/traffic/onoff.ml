@@ -1,0 +1,31 @@
+type params = { peak : float; mean_on : float; mean_off : float }
+
+let validate { peak; mean_on; mean_off } =
+  if peak <= 0.0 || mean_on <= 0.0 || mean_off <= 0.0 then
+    invalid_arg "Onoff: all parameters must be positive"
+
+let p_on p = p.mean_on /. (p.mean_on +. p.mean_off)
+let mean p = p.peak *. p_on p
+
+let variance p =
+  let q = p_on p in
+  p.peak *. p.peak *. q *. (1.0 -. q)
+
+let autocorrelation p t =
+  exp (-.abs_float t *. ((1.0 /. p.mean_on) +. (1.0 /. p.mean_off)))
+
+let create rng p ~start =
+  validate p;
+  let on = ref (Mbac_stats.Sample.bernoulli rng ~p:(p_on p)) in
+  let sojourn () =
+    Mbac_stats.Sample.exponential rng
+      ~mean:(if !on then p.mean_on else p.mean_off)
+  in
+  let step ~now =
+    on := not !on;
+    ((if !on then p.peak else 0.0), now +. sojourn ())
+  in
+  Source.create ~mean:(mean p) ~variance:(variance p)
+    ~rate0:(if !on then p.peak else 0.0)
+    ~next_change0:(start +. sojourn ())
+    ~step

@@ -1,0 +1,38 @@
+type params = {
+  peak : float;
+  mean_on : float;
+  mean_off : float;
+  shape : float;
+}
+
+let validate { peak; mean_on; mean_off; shape } =
+  if peak <= 0.0 || mean_on <= 0.0 || mean_off <= 0.0 then
+    invalid_arg "Pareto_onoff: durations and peak must be positive";
+  if not (shape > 1.0 && shape <= 2.0) then
+    invalid_arg "Pareto_onoff: requires 1 < shape <= 2"
+
+let implied_hurst p = (3.0 -. p.shape) /. 2.0
+let p_on p = p.mean_on /. (p.mean_on +. p.mean_off)
+let mean p = p.peak *. p_on p
+
+let variance p =
+  let q = p_on p in
+  p.peak *. p.peak *. q *. (1.0 -. q)
+
+let create rng p ~start =
+  validate p;
+  (* Pareto with mean m and shape a has scale m (a-1)/a. *)
+  let scale = p.mean_on *. (p.shape -. 1.0) /. p.shape in
+  let on = ref (Mbac_stats.Sample.bernoulli rng ~p:(p_on p)) in
+  let sojourn () =
+    if !on then Mbac_stats.Sample.pareto rng ~shape:p.shape ~scale
+    else Mbac_stats.Sample.exponential rng ~mean:p.mean_off
+  in
+  let step ~now =
+    on := not !on;
+    ((if !on then p.peak else 0.0), now +. sojourn ())
+  in
+  Source.create ~mean:(mean p) ~variance:(variance p)
+    ~rate0:(if !on then p.peak else 0.0)
+    ~next_change0:(start +. sojourn ())
+    ~step

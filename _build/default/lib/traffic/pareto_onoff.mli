@@ -1,0 +1,24 @@
+(** On/off source with Pareto (heavy-tailed) on-periods.
+
+    The superposition of many such sources converges to fractional
+    Brownian motion (Taqqu–Willinger–Sherman): with on-period tail index
+    1 < shape < 2 the aggregate is long-range dependent with
+    H = (3 - shape) / 2.  A renewal-level alternative to the fGn trace
+    machinery for exercising the MBAC under LRD traffic. *)
+
+type params = {
+  peak : float;       (** rate while on *)
+  mean_on : float;    (** mean on-period (Pareto with this mean) *)
+  mean_off : float;   (** mean off-period (exponential) *)
+  shape : float;      (** Pareto tail index of the on-period, in (1, 2] *)
+}
+
+val implied_hurst : params -> float
+(** (3 - shape)/2. *)
+
+val mean : params -> float
+val variance : params -> float
+
+val create : Mbac_stats.Rng.t -> params -> start:float -> Source.t
+(** @raise Invalid_argument unless all durations/rates are positive and
+    [1 < shape <= 2]. *)

@@ -1,0 +1,22 @@
+type params = { mu : float; sigma : float; t_c : float }
+
+let default_params ~mu = { mu; sigma = 0.3 *. mu; t_c = 1.0 }
+
+let validate { mu; sigma; t_c } =
+  if mu < 0.0 then invalid_arg "Rcbr.create: requires mu >= 0";
+  if sigma < 0.0 then invalid_arg "Rcbr.create: requires sigma >= 0";
+  if t_c <= 0.0 then invalid_arg "Rcbr.create: requires t_c > 0"
+
+let create rng p ~start =
+  validate p;
+  let draw_rate () =
+    Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:p.mu ~sigma:p.sigma
+  in
+  let draw_interval () = Mbac_stats.Sample.exponential rng ~mean:p.t_c in
+  let step ~now = (draw_rate (), now +. draw_interval ()) in
+  Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma)
+    ~rate0:(draw_rate ())
+    ~next_change0:(start +. draw_interval ())
+    ~step
+
+let autocorrelation p t = exp (-.abs_float t /. p.t_c)

@@ -1,0 +1,27 @@
+let segments ~segment_len ~percentile trace =
+  if segment_len <= 0 then
+    invalid_arg "Renegotiate.segments: requires segment_len > 0";
+  if percentile < 0.0 || percentile > 1.0 then
+    invalid_arg "Renegotiate.segments: percentile outside [0,1]";
+  let rates = trace.Trace.rates in
+  let n = Array.length rates in
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + segment_len) in
+    let seg = Array.sub rates !i (stop - !i) in
+    let level = Mbac_stats.Descriptive.quantile seg percentile in
+    for j = !i to stop - 1 do
+      out.(j) <- level
+    done;
+    i := stop
+  done;
+  Trace.create ~dt:trace.Trace.dt out
+
+let renegotiation_count trace =
+  let rates = trace.Trace.rates in
+  let count = ref 0 in
+  for i = 1 to Array.length rates - 1 do
+    if rates.(i) <> rates.(i - 1) then incr count
+  done;
+  !count

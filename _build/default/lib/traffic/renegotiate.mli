@@ -1,0 +1,21 @@
+(** RCBR renegotiation: turn a raw VBR trace into a piecewise-CBR trace.
+
+    The paper's video experiments use "a piecewise CBR version of the
+    MPEG-1 encoded Starwars movie" [10]: the source renegotiates a
+    constant rate from the network at segment boundaries, with the rate
+    chosen to cover the upcoming segment.  We reproduce that with
+    fixed-length segments and a per-segment percentile (the percentile
+    plays the role of the edge buffer: 1.0 = lossless peak provisioning,
+    lower values absorb the excess in the edge buffer). *)
+
+val segments :
+  segment_len:int -> percentile:float -> Trace.t -> Trace.t
+(** [segments ~segment_len ~percentile trace] replaces each consecutive
+    block of [segment_len] samples by its [percentile] order statistic
+    (the final partial block uses whatever samples remain).
+    @raise Invalid_argument if [segment_len <= 0] or [percentile] is
+    outside [0,1]. *)
+
+val renegotiation_count : Trace.t -> int
+(** Number of rate changes in a trace (adjacent unequal samples) — the
+    renegotiation-frequency metric of the RCBR service model. *)

@@ -1,0 +1,28 @@
+type t = {
+  mean : float;
+  variance : float;
+  mutable rate : float;
+  mutable next_change : float;
+  step : now:float -> float * float;
+  mutable peak_hint : float;
+}
+
+let create ~mean ~variance ~rate0 ~next_change0 ~step =
+  if variance < 0.0 then invalid_arg "Source.create: negative variance";
+  { mean; variance; rate = rate0; next_change = next_change0; step;
+    peak_hint = mean +. (3.0 *. sqrt variance) }
+
+let rate t = t.rate
+let next_change t = t.next_change
+
+let fire t ~now =
+  assert (now >= t.next_change -. 1e-9);
+  let rate, next = t.step ~now in
+  assert (next > now);
+  t.rate <- rate;
+  t.next_change <- next
+
+let mean t = t.mean
+let variance t = t.variance
+let peak_hint t = t.peak_hint
+let set_peak_hint t p = t.peak_hint <- p

@@ -1,0 +1,47 @@
+(** Fluid traffic sources with piecewise-constant rates.
+
+    All traffic in this reproduction is fluid: a source holds a constant
+    bandwidth until its next {e rate-change epoch} (a renegotiation, a
+    Markov-chain transition, a new trace segment, ...).  The simulator
+    only needs three things from a source: its current rate, the absolute
+    time of its next change, and a way to fire that change.  Concrete
+    models ({!Rcbr}, {!Markov_fluid}, {!Onoff}, {!Ou_source},
+    {!Trace_source}) build values of this one type. *)
+
+type t
+
+val create :
+  mean:float ->
+  variance:float ->
+  rate0:float ->
+  next_change0:float ->
+  step:(now:float -> float * float) ->
+  t
+(** [create ~mean ~variance ~rate0 ~next_change0 ~step] builds a source
+    whose nominal stationary statistics are [mean]/[variance], with
+    initial rate [rate0] holding until [next_change0].  [step ~now] is
+    called each time the change epoch is reached and must return the new
+    rate together with the {e absolute} time of the following change
+    (which must exceed [now]). *)
+
+val rate : t -> float
+(** Current bandwidth demand. *)
+
+val next_change : t -> float
+(** Absolute time of the next rate change. *)
+
+val fire : t -> now:float -> unit
+(** Execute the pending rate change.  [now] must be the source's
+    [next_change] time (asserted). *)
+
+val mean : t -> float
+(** Nominal stationary mean rate of the model that built this source. *)
+
+val variance : t -> float
+(** Nominal stationary rate variance. *)
+
+val peak_hint : t -> float
+(** A declared "peak rate" for baseline schemes that need one
+    (mean + 3 std by default; models may override via {!set_peak_hint}). *)
+
+val set_peak_hint : t -> float -> unit

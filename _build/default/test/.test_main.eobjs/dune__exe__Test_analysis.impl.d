@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Mbac Mbac_stats Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_batch_means.ml: Alcotest Array Batch_means Float Gen List Mbac_stats QCheck Rng Sample Test_util

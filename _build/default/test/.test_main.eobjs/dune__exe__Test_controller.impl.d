@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Gen Mbac Mbac_stats QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_core_basics.ml: Alcotest Float Mbac Mbac_stats QCheck Test_util

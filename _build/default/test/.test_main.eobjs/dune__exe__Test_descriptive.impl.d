@@ -1,0 +1,1 @@
+test/test_descriptive.ml: Alcotest Array Descriptive Float Gen List Mbac_stats QCheck Rng Sample Test_util

@@ -1,0 +1,1 @@
+test/test_distributions.ml: Distributions Gaussian List Mbac_stats Printf QCheck Rng Sample Test_util Welford

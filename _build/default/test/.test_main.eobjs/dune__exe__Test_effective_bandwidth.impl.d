@@ -1,0 +1,1 @@
+test/test_effective_bandwidth.ml: Alcotest Array List Mbac Mbac_stats Test_util

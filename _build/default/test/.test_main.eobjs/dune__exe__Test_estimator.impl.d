@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Array List Mbac Mbac_stats QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_event_heap.ml: Alcotest Event_heap Gen List Mbac_sim Option QCheck Test_util

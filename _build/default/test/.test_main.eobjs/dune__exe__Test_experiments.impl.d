@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Format List Mbac_experiments Mbac_stats String Test_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Gen List Mbac Mbac_sim Mbac_stats Mbac_traffic Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Fft Gen Mbac_numerics Mbac_stats Printf QCheck Test_util

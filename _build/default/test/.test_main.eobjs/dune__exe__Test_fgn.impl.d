@@ -1,0 +1,1 @@
+test/test_fgn.ml: Alcotest Array Fgn List Mbac_numerics Mbac_stats Test_util

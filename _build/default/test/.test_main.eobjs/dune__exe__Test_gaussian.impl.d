@@ -1,0 +1,1 @@
+test/test_gaussian.ml: Alcotest Gaussian List Mbac_stats Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Gaussian Histogram List Mbac_stats Rng Sample Test_util

@@ -1,0 +1,1 @@
+test/test_impulsive_driver.ml: Alcotest Array Float Mbac Mbac_sim Mbac_stats Mbac_traffic Printf Test_util

@@ -1,0 +1,1 @@
+test/test_integrate.ml: Alcotest Integrate Mbac_numerics Mbac_stats QCheck Test_util

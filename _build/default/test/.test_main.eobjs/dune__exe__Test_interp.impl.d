@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Interp Mbac_numerics QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_ks_hurst.ml: Alcotest Array Float Gaussian Hurst Ks_test List Mbac_numerics Mbac_stats Mbac_traffic Printf QCheck Rng Sample Test_util

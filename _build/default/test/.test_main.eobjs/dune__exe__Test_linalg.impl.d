@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Gen Linalg Mbac_numerics QCheck Test_util

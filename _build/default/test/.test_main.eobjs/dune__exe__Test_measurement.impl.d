@@ -1,0 +1,1 @@
+test/test_measurement.ml: Alcotest Float Mbac_sim Mbac_stats Measurement Test_util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Mbac_stats QCheck Random Rng Test_util Welford

@@ -1,0 +1,1 @@
+test/test_roots.ml: Alcotest List Mbac_numerics Mbac_stats QCheck Roots Test_util

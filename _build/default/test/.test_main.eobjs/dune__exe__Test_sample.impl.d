@@ -1,0 +1,1 @@
+test/test_sample.ml: Alcotest Array Gaussian Mbac_stats QCheck Rng Sample Test_util Welford

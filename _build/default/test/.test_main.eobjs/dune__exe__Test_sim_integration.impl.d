@@ -1,0 +1,1 @@
+test/test_sim_integration.ml: Alcotest Mbac Mbac_sim Mbac_stats Mbac_traffic Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_sources.ml: Aggregate Alcotest Array Float List Markov_fluid Mbac_stats Mbac_traffic Onoff Ou_source QCheck Rcbr Source Test_util

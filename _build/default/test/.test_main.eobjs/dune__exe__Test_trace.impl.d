@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Mbac_stats Mbac_traffic Mpeg_synth QCheck Renegotiate Source Test_util Trace Trace_source

@@ -1,0 +1,1 @@
+test/test_welford.ml: Alcotest Array Descriptive Gen List Mbac_stats QCheck Test_util Welford

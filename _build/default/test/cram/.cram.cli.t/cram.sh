@@ -1,0 +1,5 @@
+  $ experiments --list
+  $ experiments --run not-an-experiment
+  $ experiments --run fig6 | head -5
+  $ tracegen --frames 16 --seed 3 | head -3
+  $ tracegen --frames 256 --renegotiate 24 -o trace.csv

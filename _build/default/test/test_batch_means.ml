@@ -1,0 +1,76 @@
+open Mbac_stats
+open Test_util
+
+let test_batch_formation () =
+  let bm = Batch_means.create ~batch_length:10.0 in
+  (* 25 units of weight -> 2 complete batches. *)
+  Batch_means.add bm ~weight:25.0 1.0;
+  Alcotest.(check int) "batches" 2 (Batch_means.completed_batches bm);
+  check_close ~tol:1e-12 "mean" 1.0 (Batch_means.mean bm)
+
+let test_split_observation () =
+  let bm = Batch_means.create ~batch_length:10.0 in
+  Batch_means.add bm ~weight:5.0 0.0;
+  Batch_means.add bm ~weight:10.0 1.0;
+  (* First batch: 5 units of 0.0 + 5 units of 1.0 -> mean 0.5. *)
+  Alcotest.(check int) "one batch closed" 1 (Batch_means.completed_batches bm);
+  let means = Batch_means.batch_means bm in
+  check_close ~tol:1e-12 "split batch mean" 0.5 means.(0)
+
+let test_ci_iid_gaussian () =
+  (* Batches of iid N(5, 2^2) observations: the CI should cover the truth
+     and the half-width should match the analytic t interval. *)
+  let rng = Rng.create ~seed:300 in
+  let bm = Batch_means.create ~batch_length:1.0 in
+  let n = 400 in
+  for _ = 1 to n do
+    Batch_means.add bm ~weight:1.0 (Sample.gaussian rng ~mu:5.0 ~sigma:2.0)
+  done;
+  Alcotest.(check int) "n batches" n (Batch_means.completed_batches bm);
+  let mean = Batch_means.mean bm in
+  let hw = Batch_means.half_width bm ~confidence:0.95 in
+  Alcotest.(check bool) "covers truth" true (abs_float (mean -. 5.0) <= 2.0 *. hw);
+  (* Expected half width ~ 1.96 * 2 / sqrt(400) ~ 0.196 *)
+  check_close ~tol:0.25 "half width magnitude" 0.196 hw
+
+let test_relative_half_width () =
+  let bm = Batch_means.create ~batch_length:1.0 in
+  Batch_means.add bm ~weight:1.0 10.0;
+  Alcotest.(check bool) "infinite with one batch" true
+    (Batch_means.relative_half_width bm ~confidence:0.95 = infinity);
+  Batch_means.add bm ~weight:1.0 10.0;
+  Batch_means.add bm ~weight:1.0 10.0;
+  (* identical batches: zero width *)
+  check_close_abs ~tol:1e-12 "zero width for constant data" 0.0
+    (Batch_means.relative_half_width bm ~confidence:0.95)
+
+let test_no_batches () =
+  let bm = Batch_means.create ~batch_length:5.0 in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Batch_means.mean bm));
+  Alcotest.(check bool) "hw inf" true
+    (Batch_means.half_width bm ~confidence:0.95 = infinity)
+
+let test_weight_conservation =
+  qcheck ~count:200 "weight is conserved across batch boundaries"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0.0 7.0))
+    (fun weights ->
+      let bm = Batch_means.create ~batch_length:3.0 in
+      List.iter (fun w -> Batch_means.add bm ~weight:w 1.0) weights;
+      let total = List.fold_left ( +. ) 0.0 weights in
+      let expected_batches = int_of_float (total /. 3.0) in
+      abs (Batch_means.completed_batches bm - expected_batches) <= 1)
+
+let test_invalid () =
+  Alcotest.check_raises "batch length 0"
+    (Invalid_argument "Batch_means.create: requires batch_length > 0") (fun () ->
+      ignore (Batch_means.create ~batch_length:0.0))
+
+let suite =
+  [ ( "batch_means",
+      [ test "batch formation" test_batch_formation;
+        test "observation splitting" test_split_observation;
+        test "iid gaussian CI" test_ci_iid_gaussian;
+        test "relative half width" test_relative_half_width;
+        test "empty" test_no_batches;
+        test_weight_conservation;
+        test "invalid" test_invalid ] ) ]

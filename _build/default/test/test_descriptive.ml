@@ -1,0 +1,91 @@
+open Mbac_stats
+open Test_util
+
+let test_basic () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_close ~tol:1e-12 "mean" 5.0 (Descriptive.mean xs);
+  (* population variance is 4; unbiased = 4 * 8/7 *)
+  check_close ~tol:1e-12 "variance" (32.0 /. 7.0) (Descriptive.variance xs);
+  Alcotest.(check (float 1e-12)) "min" 2.0 (Descriptive.min xs);
+  Alcotest.(check (float 1e-12)) "max" 9.0 (Descriptive.max xs)
+
+let test_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_close ~tol:1e-12 "median" 3.0 (Descriptive.median xs);
+  check_close ~tol:1e-12 "q0" 1.0 (Descriptive.quantile xs 0.0);
+  check_close ~tol:1e-12 "q1" 5.0 (Descriptive.quantile xs 1.0);
+  check_close ~tol:1e-12 "q25" 2.0 (Descriptive.quantile xs 0.25);
+  (* interpolation *)
+  check_close ~tol:1e-12 "q0.1" 1.4 (Descriptive.quantile xs 0.1)
+
+let test_quantile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Descriptive.median xs);
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.0; 1.0; 2.0 |] xs
+
+let test_quantile_monotone =
+  qcheck ~count:200 "quantile monotone in p"
+    QCheck.(pair (array_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+              (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Descriptive.quantile xs lo <= Descriptive.quantile xs hi +. 1e-12)
+
+let test_skew_kurtosis () =
+  (* Symmetric data: zero skew.  Uniform-like data: negative excess kurtosis. *)
+  let sym = [| -2.0; -1.0; 0.0; 1.0; 2.0 |] in
+  check_close_abs ~tol:1e-12 "symmetric skew" 0.0 (Descriptive.skewness sym);
+  let rng = Rng.create ~seed:200 in
+  let gauss = Array.init 100_000 (fun _ -> Sample.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  check_close_abs ~tol:0.05 "gaussian skew ~ 0" 0.0 (Descriptive.skewness gauss);
+  check_close_abs ~tol:0.1 "gaussian excess kurtosis ~ 0" 0.0
+    (Descriptive.kurtosis_excess gauss)
+
+let test_autocorrelation_iid () =
+  let rng = Rng.create ~seed:201 in
+  let xs = Array.init 50_000 (fun _ -> Sample.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  check_close ~tol:1e-12 "lag 0" 1.0 (Descriptive.autocorrelation xs 0);
+  (* iid: lag-k correlations are ~ N(0, 1/n) *)
+  for k = 1 to 5 do
+    let r = Descriptive.autocorrelation xs k in
+    if abs_float r > 0.03 then Alcotest.failf "lag %d correlation %.4f too big" k r
+  done
+
+let test_autocorrelation_ar1 () =
+  (* AR(1) with coefficient a has acf(k) = a^k. *)
+  let rng = Rng.create ~seed:202 in
+  let a = 0.7 in
+  let n = 200_000 in
+  let xs = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    xs.(i) <- (a *. xs.(i - 1)) +. Sample.gaussian rng ~mu:0.0 ~sigma:1.0
+  done;
+  List.iter
+    (fun k ->
+      let expected = a ** float_of_int k in
+      let got = Descriptive.autocorrelation xs k in
+      if abs_float (got -. expected) > 0.02 then
+        Alcotest.failf "AR(1) acf lag %d: %.4f vs %.4f" k got expected)
+    [ 1; 2; 3; 5 ]
+
+let test_acf_shape () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let acf = Descriptive.acf xs ~max_lag:10 in
+  Alcotest.(check int) "acf clipped to n-1" 4 (Array.length acf);
+  check_close ~tol:1e-12 "acf.(0)" 1.0 acf.(0)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean []" (Invalid_argument "Descriptive.mean: empty input")
+    (fun () -> ignore (Descriptive.mean [||]))
+
+let suite =
+  [ ( "descriptive",
+      [ test "basic statistics" test_basic;
+        test "quantiles" test_quantile;
+        test "quantile purity" test_quantile_does_not_mutate;
+        test_quantile_monotone;
+        test "skewness and kurtosis" test_skew_kurtosis;
+        test "autocorrelation iid" test_autocorrelation_iid;
+        test "autocorrelation AR(1)" test_autocorrelation_ar1;
+        test "acf shape" test_acf_shape;
+        test "empty input" test_empty_raises ] ) ]

@@ -1,0 +1,84 @@
+open Mbac_stats
+open Test_util
+
+let test_student_t_symmetry () =
+  check_close ~tol:1e-12 "cdf 0" 0.5 (Distributions.Student_t.cdf ~df:5.0 0.0);
+  List.iter
+    (fun t ->
+      let up = Distributions.Student_t.cdf ~df:5.0 t in
+      let dn = Distributions.Student_t.cdf ~df:5.0 (-.t) in
+      check_close ~tol:1e-10 "symmetry" 1.0 (up +. dn))
+    [ 0.5; 1.0; 2.0; 5.0 ]
+
+let test_student_t_table () =
+  (* Classical two-sided 95% critical values. *)
+  let cases = [ (1.0, 12.706204736); (2.0, 4.302652730); (5.0, 2.570581836);
+                (10.0, 2.228138852); (30.0, 2.042272456) ] in
+  List.iter
+    (fun (df, expected) ->
+      check_close ~tol:1e-6
+        (Printf.sprintf "t crit df=%g" df)
+        expected
+        (Distributions.Student_t.quantile ~df 0.975))
+    cases
+
+let test_student_t_cauchy () =
+  (* df = 1 is Cauchy: quantile(0.75) = tan(pi/4) = 1. *)
+  check_close ~tol:1e-8 "cauchy q75" 1.0 (Distributions.Student_t.quantile ~df:1.0 0.75)
+
+let test_student_t_converges_to_gaussian () =
+  let q_t = Distributions.Student_t.quantile ~df:10_000.0 0.975 in
+  let q_g = Gaussian.q_inv 0.025 in
+  check_close ~tol:1e-3 "large df -> gaussian" q_g q_t
+
+let test_student_t_roundtrip =
+  qcheck ~count:100 "t quantile/cdf roundtrip"
+    QCheck.(pair (float_range 1.0 50.0) (float_range 0.02 0.98))
+    (fun (df, p) ->
+      let x = Distributions.Student_t.quantile ~df p in
+      abs_float (Distributions.Student_t.cdf ~df x -. p) <= 1e-7)
+
+let test_chi_square () =
+  (* df = 2 is exponential with mean 2. *)
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-10 "chi2 df=2 = exp(2)"
+        (Distributions.Exponential.cdf ~mean:2.0 x)
+        (Distributions.Chi_square.cdf ~df:2.0 x))
+    [ 0.5; 1.0; 3.0; 10.0 ];
+  (* Known critical value: chi2(0.95, df=10) = 18.307038... *)
+  check_close ~tol:1e-5 "chi2 crit" 18.307038053275146
+    (Distributions.Chi_square.quantile ~df:10.0 0.95)
+
+let test_exponential () =
+  check_close ~tol:1e-12 "exp cdf at mean" (1.0 -. exp (-1.0))
+    (Distributions.Exponential.cdf ~mean:4.0 4.0);
+  check_close ~tol:1e-12 "exp quantile" (4.0 *. log 2.0)
+    (Distributions.Exponential.quantile ~mean:4.0 0.5)
+
+let test_lognormal_moments () =
+  let mu_log = 0.3 and sigma_log = 0.8 in
+  let m = Distributions.Lognormal.mean ~mu_log ~sigma_log in
+  let v = Distributions.Lognormal.variance ~mu_log ~sigma_log in
+  (* cross-check against sampling *)
+  let rng = Rng.create ~seed:400 in
+  let acc = Welford.create () in
+  for _ = 1 to 300_000 do
+    Welford.add acc (Sample.lognormal rng ~mu_log ~sigma_log)
+  done;
+  check_close ~tol:0.01 "lognormal mean" m (Welford.mean acc);
+  check_close ~tol:0.08 "lognormal variance" v (Welford.variance acc);
+  (* median = exp(mu_log) *)
+  check_close ~tol:1e-10 "lognormal median" 0.5
+    (Distributions.Lognormal.cdf ~mu_log ~sigma_log (exp mu_log))
+
+let suite =
+  [ ( "distributions",
+      [ test "student t symmetry" test_student_t_symmetry;
+        test "student t critical values" test_student_t_table;
+        test "student t df=1 is Cauchy" test_student_t_cauchy;
+        test "student t -> gaussian" test_student_t_converges_to_gaussian;
+        test_student_t_roundtrip;
+        test "chi square" test_chi_square;
+        test "exponential" test_exponential;
+        test "lognormal moments" test_lognormal_moments ] ) ]

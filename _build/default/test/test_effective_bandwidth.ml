@@ -1,0 +1,135 @@
+open Test_util
+
+let log_binomial_coeff n k =
+  Mbac_stats.Special.lgamma (float_of_int (n + 1))
+  -. Mbac_stats.Special.lgamma (float_of_int (k + 1))
+  -. Mbac_stats.Special.lgamma (float_of_int (n - k + 1))
+
+(* exact P(Binomial(n, p) > k) *)
+let binomial_tail n p k =
+  let acc = ref 0.0 in
+  for j = k + 1 to n do
+    acc :=
+      !acc
+      +. exp
+           (log_binomial_coeff n j
+           +. (float_of_int j *. log p)
+           +. (float_of_int (n - j) *. log (1.0 -. p)))
+  done;
+  !acc
+
+let test_gaussian_log_mgf () =
+  let lm = Mbac.Effective_bandwidth.gaussian_log_mgf ~mu:2.0 ~sigma:0.5 in
+  check_close_abs ~tol:1e-12 "at 0" 0.0 (lm 0.0);
+  check_close ~tol:1e-12 "value" ((2.0 *. 1.5) +. (0.5 *. 2.25 *. 0.25)) (lm 1.5)
+
+let test_onoff_log_mgf () =
+  let lm = Mbac.Effective_bandwidth.onoff_log_mgf ~peak:3.0 ~p_on:0.4 in
+  check_close_abs ~tol:1e-12 "at 0" 0.0 (lm 0.0);
+  check_close ~tol:1e-12 "value" (log (0.6 +. (0.4 *. exp 3.0))) (lm 1.0)
+
+let test_chernoff_gaussian_closed_form () =
+  (* Gaussian: sup_theta (theta c - m(theta mu + theta^2 sigma^2/2))
+     = (c - m mu)^2 / (2 m sigma^2) for c > m mu. *)
+  let mu = 1.0 and sigma = 0.3 in
+  let lm = Mbac.Effective_bandwidth.gaussian_log_mgf ~mu ~sigma in
+  List.iter
+    (fun (m, c) ->
+      let expected = ((c -. (m *. mu)) ** 2.0) /. (2.0 *. m *. sigma *. sigma) in
+      check_close ~tol:1e-6 "exponent"
+        expected
+        (Mbac.Effective_bandwidth.chernoff_exponent ~log_mgf:lm ~m ~capacity:c))
+    [ (50.0, 60.0); (90.0, 100.0); (10.0, 20.0) ]
+
+let test_chernoff_bounds_exact_tail () =
+  (* on/off flows: S = peak Binomial(m, p); the Chernoff bound must upper
+     bound the exact tail and be within its exponential order *)
+  let peak = 2.0 and p_on = 0.3 in
+  let lm = Mbac.Effective_bandwidth.onoff_log_mgf ~peak ~p_on in
+  List.iter
+    (fun (m, c) ->
+      let bound =
+        Mbac.Effective_bandwidth.chernoff_overflow_bound ~log_mgf:lm
+          ~m:(float_of_int m) ~capacity:c
+      in
+      (* S > c <=> Binomial > c/peak *)
+      let exact = binomial_tail m p_on (int_of_float (c /. peak)) in
+      if bound < exact then
+        Alcotest.failf "m=%d c=%g: bound %.4g < exact %.4g" m c bound exact;
+      if exact > 0.0 && bound > exact *. 1e4 then
+        Alcotest.failf "m=%d c=%g: bound %.4g too loose vs %.4g" m c bound exact)
+    [ (50, 45.0); (100, 80.0); (30, 30.0) ]
+
+let test_chernoff_overload_gives_one () =
+  (* mean load above capacity: exponent 0, bound 1 *)
+  let lm = Mbac.Effective_bandwidth.gaussian_log_mgf ~mu:1.0 ~sigma:0.3 in
+  check_close ~tol:1e-9 "saturated bound" 1.0
+    (Mbac.Effective_bandwidth.chernoff_overflow_bound ~log_mgf:lm ~m:200.0
+       ~capacity:100.0)
+
+let test_admissible_monotone_and_boundary () =
+  let lm = Mbac.Effective_bandwidth.gaussian_log_mgf ~mu:1.0 ~sigma:0.3 in
+  let m =
+    Mbac.Effective_bandwidth.admissible ~log_mgf:lm ~capacity:100.0
+      ~p_target:1e-3
+  in
+  (* boundary property *)
+  let bound k =
+    Mbac.Effective_bandwidth.chernoff_overflow_bound ~log_mgf:lm
+      ~m:(float_of_int k) ~capacity:100.0
+  in
+  Alcotest.(check bool) "m admissible" true (bound m <= 1e-3);
+  Alcotest.(check bool) "m+1 not admissible" true (bound (m + 1) > 1e-3);
+  (* Chernoff is more conservative than the Gaussian-quantile criterion *)
+  let m_gauss =
+    Mbac.Criterion.admissible ~capacity:100.0 ~mu:1.0 ~sigma:0.3
+      ~alpha:(Mbac_stats.Gaussian.q_inv 1e-3)
+  in
+  Alcotest.(check bool) "chernoff <= gaussian criterion" true (m <= m_gauss);
+  (* and the alpha correspondence holds exactly for Gaussian flows *)
+  let m_alpha =
+    Mbac.Criterion.admissible ~capacity:100.0 ~mu:1.0 ~sigma:0.3
+      ~alpha:(Mbac.Effective_bandwidth.gaussian_alpha_of_p 1e-3)
+  in
+  Alcotest.(check int) "alpha reduction" m_alpha m
+
+let test_alpha_of_p () =
+  (* sqrt(2 ln(1/p)) > Q^{-1}(p) for all p in (0, 1/2) *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "dominates gaussian quantile" true
+        (Mbac.Effective_bandwidth.gaussian_alpha_of_p p
+        > Mbac_stats.Gaussian.q_inv p))
+    [ 0.4; 0.1; 1e-3; 1e-6; 1e-9 ]
+
+let test_controller_ordering () =
+  (* the chernoff controller admits no more than the CE controller at the
+     same target, given identical observations *)
+  let capacity = 100.0 in
+  let mk_obs () =
+    let rates = Array.init 60 (fun i -> 1.0 +. (0.3 *. sin (float_of_int i))) in
+    let sum = Array.fold_left ( +. ) 0.0 rates in
+    let sq = Array.fold_left (fun a r -> a +. (r *. r)) 0.0 rates in
+    Mbac.Observation.make ~now:0.0 ~n:(Array.length rates) ~sum_rate:sum
+      ~sum_sq:sq
+  in
+  let ce = Mbac.Controller.memoryless ~capacity ~p_ce:1e-3 in
+  let ch =
+    Mbac.Controller.chernoff ~capacity ~p_ce:1e-3 (Mbac.Estimator.memoryless ())
+  in
+  let obs = mk_obs () in
+  Mbac.Controller.observe ce obs;
+  Mbac.Controller.observe ch obs;
+  Alcotest.(check bool) "chernoff more conservative" true
+    (Mbac.Controller.admissible ch obs <= Mbac.Controller.admissible ce obs)
+
+let suite =
+  [ ( "effective_bandwidth",
+      [ test "gaussian log-MGF" test_gaussian_log_mgf;
+        test "on/off log-MGF" test_onoff_log_mgf;
+        test "gaussian Chernoff closed form" test_chernoff_gaussian_closed_form;
+        test "Chernoff bounds the exact binomial tail" test_chernoff_bounds_exact_tail;
+        test "saturated bound" test_chernoff_overload_gives_one;
+        test "admissible boundary" test_admissible_monotone_and_boundary;
+        test "alpha correspondence" test_alpha_of_p;
+        test "controller ordering" test_controller_ordering ] ) ]

@@ -1,0 +1,100 @@
+open Mbac_sim
+open Test_util
+
+let test_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun t -> Event_heap.push h ~time:t (int_of_float t))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_fifo_ties () =
+  let h = Event_heap.create () in
+  List.iter (fun v -> Event_heap.push h ~time:1.0 v) [ 10; 20; 30 ];
+  let v1 = Option.get (Event_heap.pop h) in
+  let v2 = Option.get (Event_heap.pop h) in
+  let v3 = Option.get (Event_heap.pop h) in
+  Alcotest.(check (list int)) "insertion order on ties" [ 10; 20; 30 ]
+    [ snd v1; snd v2; snd v3 ]
+
+let test_empty () =
+  let h = Event_heap.create () in
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Event_heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Event_heap.peek_time h = None)
+
+let test_peek () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:2.0 'b';
+  Event_heap.push h ~time:1.0 'a';
+  Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (Event_heap.peek_time h);
+  Alcotest.(check int) "size" 2 (Event_heap.size h)
+
+let test_clear () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:1.0 ();
+  Event_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Event_heap.is_empty h)
+
+let test_heap_property =
+  qcheck ~count:200 "pop yields non-decreasing times"
+    QCheck.(list_of_size Gen.(int_range 0 300) (float_range 0.0 1e6))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> Event_heap.push h ~time:t ()) times;
+      let rec check last =
+        match Event_heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= last && check t
+      in
+      check neg_infinity)
+
+let test_interleaved =
+  qcheck ~count:100 "interleaved push/pop matches a sorted-list model"
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0.0 100.0))
+    (fun times ->
+      let h = Event_heap.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i t ->
+          Event_heap.push h ~time:t i;
+          model := List.merge compare !model [ t ];
+          if i mod 3 = 0 then
+            match (Event_heap.pop h, !model) with
+            | Some (pt, _), m0 :: rest ->
+                if pt <> m0 then ok := false else model := rest
+            | _, _ -> ok := false)
+        times;
+      (* drain and compare the remainder *)
+      List.iter
+        (fun expected ->
+          match Event_heap.pop h with
+          | Some (pt, _) when pt = expected -> ()
+          | _ -> ok := false)
+        !model;
+      !ok && Event_heap.is_empty h)
+
+let test_nan_rejected () =
+  let h = Event_heap.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: NaN time")
+    (fun () -> Event_heap.push h ~time:nan ())
+
+let suite =
+  [ ( "event_heap",
+      [ test "ordering" test_ordering;
+        test "FIFO tie-breaking" test_fifo_ties;
+        test "empty heap" test_empty;
+        test "peek and size" test_peek;
+        test "clear" test_clear;
+        test_heap_property;
+        test_interleaved;
+        test "NaN rejected" test_nan_rejected ] ) ]

@@ -1,0 +1,133 @@
+(* The experiments library: registry wiring and the cheap (analysis-only)
+   experiment computations. *)
+open Test_util
+
+let test_registry_complete () =
+  let expected =
+    [ "prop31"; "prop33"; "eqn21"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10";
+      "fig11"; "fig12"; "regimes"; "util40"; "baselines"; "hetero";
+      "aggregate"; "arrival"; "service"; "nonstat"; "utility" ]
+  in
+  List.iter
+    (fun id ->
+      match Mbac_experiments.Registry.find id with
+      | Some e -> Alcotest.(check string) "id matches" id e.Mbac_experiments.Registry.id
+      | None -> Alcotest.failf "experiment %s missing from registry" id)
+    expected;
+  Alcotest.(check int) "registry size" (List.length expected)
+    (List.length Mbac_experiments.Registry.all)
+
+let test_registry_find_unknown () =
+  Alcotest.(check bool) "unknown id" true
+    (Mbac_experiments.Registry.find "nope" = None)
+
+let test_fig6_curves_monotone () =
+  let curves = Mbac_experiments.Exp_fig6.compute () in
+  Alcotest.(check int) "four curves" 4 (List.length curves);
+  List.iter
+    (fun c ->
+      let values = List.map snd c.Mbac_experiments.Exp_fig6.points in
+      (* log10 p_ce increases (toward -3) with memory *)
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && nondecreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone in T_m" true (nondecreasing values);
+      (* all between log10(p_q) = -3 and something small *)
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "below p_q" true (v <= -3.0 +. 1e-6))
+        values)
+    curves
+
+let test_fig9_grid_shape () =
+  let g = Mbac_experiments.Exp_fig9.compute () in
+  let open Mbac_experiments.Exp_fig9 in
+  Alcotest.(check int) "rows" (List.length g.t_cs) (Array.length g.p_f);
+  (* In the masking regime (t_c <= T~_h) memory monotonically helps.  In
+     the repair regime more memory can raise p_f slightly (the residual
+     Q(alpha sqrt(1 + T_c/T_m)) term grows), but everything there is far
+     below target anyway — so monotonicity is only asserted on the
+     masking rows. *)
+  List.iteri
+    (fun i t_c ->
+      if t_c <= 10.0 then
+        let row = g.p_f.(i) in
+        for j = 1 to Array.length row - 1 do
+          if row.(j) > row.(j - 1) +. 1e-12 && row.(j) > 1e-4 then
+            Alcotest.failf "masking row t_c=%g not non-increasing" t_c
+        done)
+    g.t_cs;
+  (* memoryless corner violates the target; full-memory corner meets it *)
+  let p_q = 1e-3 in
+  Alcotest.(check bool) "violation at small memory, short T_c" true
+    (g.p_f.(1).(0) > 10.0 *. p_q);
+  let last_col = Array.map (fun row -> row.(Array.length row - 1)) g.p_f in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "T_m ~ 3 T~_h meets target everywhere" true
+        (v <= 2.0 *. p_q))
+    last_col
+
+let test_regimes_rows () =
+  let rows = Mbac_experiments.Exp_regimes.compute () in
+  Alcotest.(check bool) "has both regimes" true
+    (List.exists (fun r -> r.Mbac_experiments.Exp_regimes.regime = "masking") rows
+    && List.exists (fun r -> r.Mbac_experiments.Exp_regimes.regime = "repair") rows);
+  (* in the masking rows the masking form approximates the general one *)
+  List.iter
+    (fun r ->
+      let open Mbac_experiments.Exp_regimes in
+      if r.regime = "masking" && r.t_c <= 1.0 then begin
+        let ratio = r.general /. r.masking in
+        if ratio < 0.7 || ratio > 1.4 then
+          Alcotest.failf "masking mismatch at t_c=%g: %g" r.t_c ratio
+      end)
+    rows
+
+let test_common_table_formatting () =
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Mbac_experiments.Common.table fmt ~header:[ "a"; "bb" ]
+    ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ];
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "contains all cells" true
+    (List.for_all
+       (fun cell ->
+         (* substring check *)
+         let rec contains i =
+           i + String.length cell <= String.length s
+           && (String.sub s i (String.length cell) = cell || contains (i + 1))
+         in
+         contains 0)
+       [ "a"; "bb"; "1"; "2"; "333"; "4" ])
+
+let test_common_rng_deterministic () =
+  let a = Mbac_experiments.Common.rng_for "tag" in
+  let b = Mbac_experiments.Common.rng_for "tag" in
+  Alcotest.(check int64) "same tag same stream" (Mbac_stats.Rng.bits64 a)
+    (Mbac_stats.Rng.bits64 b);
+  let c = Mbac_experiments.Common.rng_for "other" in
+  Alcotest.(check bool) "different tags differ" true
+    (Mbac_stats.Rng.bits64 c <> Mbac_stats.Rng.bits64 b)
+
+let test_profile_parsing () =
+  Alcotest.(check bool) "quick" true
+    (Mbac_experiments.Common.profile_of_string "Quick" = Mbac_experiments.Common.Quick);
+  Alcotest.(check bool) "full" true
+    (Mbac_experiments.Common.profile_of_string "FULL" = Mbac_experiments.Common.Full);
+  Alcotest.check_raises "bad"
+    (Invalid_argument "Common.profile_of_string: nope") (fun () ->
+      ignore (Mbac_experiments.Common.profile_of_string "nope"))
+
+let suite =
+  [ ( "experiments",
+      [ test "registry completeness" test_registry_complete;
+        test "registry unknown" test_registry_find_unknown;
+        test "fig6 curves monotone" test_fig6_curves_monotone;
+        test "fig9 grid shape" test_fig9_grid_shape;
+        test "regimes table" test_regimes_rows;
+        test "table formatting" test_common_table_formatting;
+        test "deterministic experiment rngs" test_common_rng_deterministic;
+        test "profile parsing" test_profile_parsing ] ) ]

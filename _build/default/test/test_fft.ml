@@ -1,0 +1,103 @@
+open Mbac_numerics
+open Test_util
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1" true (Fft.is_power_of_two 1);
+  Alcotest.(check bool) "64" true (Fft.is_power_of_two 64);
+  Alcotest.(check bool) "48" false (Fft.is_power_of_two 48);
+  Alcotest.(check bool) "0" false (Fft.is_power_of_two 0);
+  Alcotest.(check int) "next 1" 1 (Fft.next_power_of_two 1);
+  Alcotest.(check int) "next 5" 8 (Fft.next_power_of_two 5);
+  Alcotest.(check int) "next 64" 64 (Fft.next_power_of_two 64)
+
+let test_impulse () =
+  (* FFT of a delta is the all-ones sequence. *)
+  let n = 8 in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Fft.fft ~re ~im;
+  Array.iter (fun x -> check_close_abs ~tol:1e-12 "re 1" 1.0 x) re;
+  Array.iter (fun x -> check_close_abs ~tol:1e-12 "im 0" 0.0 x) im
+
+let test_single_tone () =
+  (* cos(2 pi k0 t / n) has spikes of n/2 at bins k0 and n-k0. *)
+  let n = 64 and k0 = 5 in
+  let pi = 4.0 *. atan 1.0 in
+  let re =
+    Array.init n (fun i ->
+        cos (2.0 *. pi *. float_of_int (k0 * i) /. float_of_int n))
+  in
+  let im = Array.make n 0.0 in
+  Fft.fft ~re ~im;
+  for k = 0 to n - 1 do
+    let mag = sqrt ((re.(k) *. re.(k)) +. (im.(k) *. im.(k))) in
+    let expected = if k = k0 || k = n - k0 then 32.0 else 0.0 in
+    check_close_abs ~tol:1e-9 (Printf.sprintf "bin %d" k) expected mag
+  done
+
+let test_roundtrip =
+  qcheck ~count:100 "ifft . fft = id"
+    QCheck.(array_of_size (Gen.return 128) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let re = Array.copy xs and im = Array.make 128 0.0 in
+      Fft.fft ~re ~im;
+      Fft.ifft ~re ~im;
+      Array.for_all2 (fun a b -> abs_float (a -. b) <= 1e-10) re xs
+      && Array.for_all (fun x -> abs_float x <= 1e-10) im)
+
+let test_parseval =
+  qcheck ~count:100 "Parseval's identity"
+    QCheck.(array_of_size (Gen.return 64) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let n = Array.length xs in
+      let time_energy = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+      let re = Array.copy xs and im = Array.make n 0.0 in
+      Fft.fft ~re ~im;
+      let freq_energy = ref 0.0 in
+      for k = 0 to n - 1 do
+        freq_energy := !freq_energy +. (re.(k) *. re.(k)) +. (im.(k) *. im.(k))
+      done;
+      abs_float ((!freq_energy /. float_of_int n) -. time_energy)
+      <= 1e-8 *. (1.0 +. time_energy))
+
+let test_linearity () =
+  let n = 32 in
+  let rng = Mbac_stats.Rng.create ~seed:600 in
+  let a = Array.init n (fun _ -> Mbac_stats.Rng.float rng) in
+  let b = Array.init n (fun _ -> Mbac_stats.Rng.float rng) in
+  let fft_of xs =
+    let re = Array.copy xs and im = Array.make n 0.0 in
+    Fft.fft ~re ~im;
+    (re, im)
+  in
+  let ra, ia = fft_of a and rb, ib = fft_of b in
+  let rs, is_ = fft_of (Array.init n (fun i -> a.(i) +. b.(i))) in
+  for k = 0 to n - 1 do
+    check_close_abs ~tol:1e-10 "linear re" (ra.(k) +. rb.(k)) rs.(k);
+    check_close_abs ~tol:1e-10 "linear im" (ia.(k) +. ib.(k)) is_.(k)
+  done
+
+let test_autocorrelation_fft_matches_direct () =
+  let rng = Mbac_stats.Rng.create ~seed:601 in
+  let xs = Array.init 500 (fun _ -> Mbac_stats.Sample.gaussian rng ~mu:1.0 ~sigma:2.0) in
+  let fast = Fft.autocorrelation_fft xs ~max_lag:20 in
+  for k = 0 to 20 do
+    let direct = Mbac_stats.Descriptive.autocorrelation xs k in
+    check_close_abs ~tol:1e-9 (Printf.sprintf "acf lag %d" k) direct fast.(k)
+  done
+
+let test_invalid () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft: length must be a power of 2") (fun () ->
+      Fft.fft ~re:(Array.make 3 0.0) ~im:(Array.make 3 0.0))
+
+let suite =
+  [ ( "fft",
+      [ test "power-of-two helpers" test_power_of_two;
+        test "impulse" test_impulse;
+        test "single tone" test_single_tone;
+        test_roundtrip;
+        test_parseval;
+        test "linearity" test_linearity;
+        test "fft autocorrelation = direct" test_autocorrelation_fft_matches_direct;
+        test "invalid" test_invalid ] ) ]

@@ -1,0 +1,92 @@
+open Mbac_numerics
+open Test_util
+
+let test_autocovariance_formula () =
+  (* H = 0.5 is white noise: gamma(0)=1, gamma(k)=0 for k>0. *)
+  check_close ~tol:1e-12 "H=.5 lag0" 1.0 (Fgn.fgn_autocovariance ~hurst:0.5 0);
+  check_close_abs ~tol:1e-12 "H=.5 lag1" 0.0 (Fgn.fgn_autocovariance ~hurst:0.5 1);
+  check_close_abs ~tol:1e-12 "H=.5 lag5" 0.0 (Fgn.fgn_autocovariance ~hurst:0.5 5);
+  (* H > 0.5: positive correlations decaying polynomially. *)
+  let g1 = Fgn.fgn_autocovariance ~hurst:0.8 1 in
+  let g10 = Fgn.fgn_autocovariance ~hurst:0.8 10 in
+  Alcotest.(check bool) "positive dependence" true (g1 > 0.0 && g10 > 0.0 && g1 > g10);
+  (* known value: H=0.8, lag 1: (2^1.6 - 2)/2 *)
+  check_close ~tol:1e-12 "H=.8 lag1" (((2.0 ** 1.6) -. 2.0) /. 2.0) g1
+
+let test_moments () =
+  let rng = Mbac_stats.Rng.create ~seed:700 in
+  let xs = Fgn.generate rng ~hurst:0.8 ~n:65536 in
+  let mean = Mbac_stats.Descriptive.mean xs in
+  let var = Mbac_stats.Descriptive.variance xs in
+  (* LRD series have slowly-converging sample means; loose tolerances. *)
+  check_close_abs ~tol:0.15 "fgn mean" 0.0 mean;
+  check_close ~tol:0.15 "fgn variance" 1.0 var
+
+let test_empirical_acf () =
+  (* Average the empirical ACF over several independent paths to beat the
+     LRD sampling noise, then compare with the theoretical fGn ACF. *)
+  let rng = Mbac_stats.Rng.create ~seed:701 in
+  let paths = 12 and n = 16384 in
+  let lags = [ 1; 2; 5; 10 ] in
+  let sums = Array.make (List.length lags) 0.0 in
+  for _ = 1 to paths do
+    let xs = Fgn.generate rng ~hurst:0.75 ~n in
+    List.iteri
+      (fun i k -> sums.(i) <- sums.(i) +. Mbac_stats.Descriptive.autocorrelation xs k)
+      lags
+  done;
+  List.iteri
+    (fun i k ->
+      let emp = sums.(i) /. float_of_int paths in
+      let thy = Fgn.fgn_autocovariance ~hurst:0.75 k in
+      if abs_float (emp -. thy) > 0.05 then
+        Alcotest.failf "fgn acf lag %d: empirical %.4f vs theory %.4f" k emp thy)
+    lags
+
+let test_h05_is_iid () =
+  let rng = Mbac_stats.Rng.create ~seed:702 in
+  let xs = Fgn.generate rng ~hurst:0.5 ~n:50_000 in
+  for k = 1 to 3 do
+    let r = Mbac_stats.Descriptive.autocorrelation xs k in
+    if abs_float r > 0.03 then Alcotest.failf "H=0.5 lag %d acf %.4f" k r
+  done
+
+let test_fbm_scaling () =
+  (* Var(B_H(n)) ~ n^{2H}: regression of log-variance of the path at
+     different horizons should have slope ~ 2H. *)
+  let rng = Mbac_stats.Rng.create ~seed:703 in
+  let hurst = 0.8 in
+  let reps = 400 and n = 1024 in
+  let horizon_a = 64 and horizon_b = 1024 in
+  let acc_a = Mbac_stats.Welford.create () and acc_b = Mbac_stats.Welford.create () in
+  for _ = 1 to reps do
+    let path = Fgn.fbm_of_fgn (Fgn.generate rng ~hurst ~n) in
+    Mbac_stats.Welford.add acc_a path.(horizon_a - 1);
+    Mbac_stats.Welford.add acc_b path.(horizon_b - 1)
+  done;
+  let slope =
+    log (Mbac_stats.Welford.variance acc_b /. Mbac_stats.Welford.variance acc_a)
+    /. log (float_of_int horizon_b /. float_of_int horizon_a)
+  in
+  check_close ~tol:0.15 "fbm variance exponent" (2.0 *. hurst) slope
+
+let test_determinism () =
+  let a = Fgn.generate (Mbac_stats.Rng.create ~seed:9) ~hurst:0.7 ~n:128 in
+  let b = Fgn.generate (Mbac_stats.Rng.create ~seed:9) ~hurst:0.7 ~n:128 in
+  Alcotest.(check bool) "same seed, same path" true (a = b)
+
+let test_invalid () =
+  let rng = Mbac_stats.Rng.create ~seed:1 in
+  Alcotest.check_raises "bad hurst"
+    (Invalid_argument "Fgn.generate: requires 0 < hurst < 1") (fun () ->
+      ignore (Fgn.generate rng ~hurst:1.0 ~n:16))
+
+let suite =
+  [ ( "fgn",
+      [ test "autocovariance formula" test_autocovariance_formula;
+        test "sample moments" test_moments;
+        slow_test "empirical acf matches theory" test_empirical_acf;
+        test "H=0.5 is white" test_h05_is_iid;
+        slow_test "fbm self-similarity exponent" test_fbm_scaling;
+        test "determinism" test_determinism;
+        test "invalid" test_invalid ] ) ]

@@ -1,0 +1,100 @@
+open Mbac_stats
+open Test_util
+
+let q_reference =
+  [ (0.0, 0.5); (1.0, 0.15865525393145705); (2.0, 2.2750131948179195e-02);
+    (3.0, 1.3498980316300933e-03); (4.0, 3.1671241833119921e-05);
+    (5.0, 2.8665157187919333e-07); (6.0, 9.8658764503769814e-10);
+    (7.0, 1.2798125438858350e-12) ]
+
+let test_q_values () =
+  List.iter
+    (fun (x, v) ->
+      check_close ~tol:1e-11 (Printf.sprintf "Q %g" x) v (Gaussian.q x))
+    q_reference
+
+let test_phi () =
+  check_close ~tol:1e-14 "phi 0" (1.0 /. sqrt (8.0 *. atan 1.0)) (Gaussian.phi 0.0);
+  check_close ~tol:1e-13 "phi 1"
+    (exp (-0.5) /. sqrt (8.0 *. atan 1.0))
+    (Gaussian.phi 1.0)
+
+let test_cdf_q_complement =
+  qcheck ~count:300 "cdf x + q x = 1" QCheck.(float_range (-8.0) 8.0) (fun x ->
+      abs_float (Gaussian.cdf x +. Gaussian.q x -. 1.0) <= 1e-13)
+
+let test_q_inv_roundtrip =
+  qcheck ~count:300 "q (q_inv p) = p over 13 decades"
+    QCheck.(float_range 1.0 30.0)
+    (fun e ->
+      let p = 10.0 ** -.e in
+      let x = Gaussian.q_inv p in
+      (* compare in log space for tiny p *)
+      abs_float (Gaussian.log_q x -. log p) <= 1e-9)
+
+let test_q_inv_central =
+  qcheck ~count:300 "q_inv (q x) = x" QCheck.(float_range (-5.0) 8.0) (fun x ->
+      (* Left of ~-5 the roundtrip is limited by the representation of p
+         near 1 (q x loses tail resolution), tested separately below. *)
+      abs_float (Gaussian.q_inv (Gaussian.q x) -. x) <= 1e-9 *. (1.0 +. abs_float x))
+
+let test_q_inv_deep_left_tail =
+  qcheck ~count:100 "q_inv (q x) = x to representation limits, x << 0"
+    QCheck.(float_range (-8.0) (-5.0))
+    (fun x ->
+      (* |error| ~ eps / phi(x): the best any algorithm can do once p is
+         rounded to a double near 1 *)
+      let budget = 10.0 *. epsilon_float /. Gaussian.phi x in
+      abs_float (Gaussian.q_inv (Gaussian.q x) -. x) <= budget)
+
+let test_q_inv_known () =
+  check_close ~tol:1e-9 "q_inv 0.5" 1.0 (1.0 +. Gaussian.q_inv 0.5);
+  check_close ~tol:1e-10 "q_inv(Q(1.96))" 1.96
+    (Gaussian.q_inv (Gaussian.q 1.96));
+  (* alpha for p = 1e-3 is 3.090232306167813 *)
+  check_close ~tol:1e-10 "q_inv 1e-3" 3.0902323061678132 (Gaussian.q_inv 1e-3);
+  (* alpha for p = 1e-5 is 4.264890793922602 *)
+  check_close ~tol:1e-10 "q_inv 1e-5" 4.2648907939226017 (Gaussian.q_inv 1e-5)
+
+let test_log_q () =
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-10 "log_q vs q" (log (Gaussian.q x)) (Gaussian.log_q x))
+    [ -2.0; 0.0; 1.0; 3.0; 8.0; 20.0 ]
+
+let test_overflow_probability () =
+  (* Q((c - m)/s) with c=110, m=100, s=5 -> Q(2). *)
+  check_close ~tol:1e-12 "overflow basic"
+    (Gaussian.q 2.0)
+    (Gaussian.overflow_probability ~capacity:110.0 ~mean:100.0 ~std:5.0);
+  Alcotest.(check (float 0.0)) "zero std below capacity" 0.0
+    (Gaussian.overflow_probability ~capacity:10.0 ~mean:5.0 ~std:0.0);
+  Alcotest.(check (float 0.0)) "zero std above capacity" 1.0
+    (Gaussian.overflow_probability ~capacity:10.0 ~mean:15.0 ~std:0.0)
+
+let test_tail_approx () =
+  (* phi(x)/x approximates Q(x) to within ~10% by x = 3. *)
+  let x = 4.0 in
+  let ratio = Gaussian.q_tail_approx x /. Gaussian.q x in
+  Alcotest.(check bool) "tail approx within 10% at x=4" true
+    (ratio > 1.0 && ratio < 1.1)
+
+let test_invalid () =
+  Alcotest.check_raises "q_inv 0" (Invalid_argument "Gaussian.q_inv: requires 0 < p < 1")
+    (fun () -> ignore (Gaussian.q_inv 0.0));
+  Alcotest.check_raises "q_inv 1" (Invalid_argument "Gaussian.q_inv: requires 0 < p < 1")
+    (fun () -> ignore (Gaussian.q_inv 1.0))
+
+let suite =
+  [ ( "gaussian",
+      [ test "Q reference values" test_q_values;
+        test "phi values" test_phi;
+        test_cdf_q_complement;
+        test_q_inv_roundtrip;
+        test_q_inv_central;
+        test_q_inv_deep_left_tail;
+        test "q_inv known values" test_q_inv_known;
+        test "log_q consistency" test_log_q;
+        test "overflow_probability" test_overflow_probability;
+        test "tail approximation sanity" test_tail_approx;
+        test "invalid arguments" test_invalid ] ) ]

@@ -1,0 +1,72 @@
+open Mbac_stats
+open Test_util
+
+let test_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -1.0; 10.0; 11.0 ];
+  Alcotest.(check int) "total" 7 (Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  let c = Histogram.counts h in
+  Alcotest.(check int) "bin 0" 1 c.(0);
+  Alcotest.(check int) "bin 1" 2 c.(1);
+  Alcotest.(check int) "bin 9" 1 c.(9)
+
+let test_edges () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  let edges = Histogram.bin_edges h in
+  Alcotest.(check int) "n edges" 5 (Array.length edges);
+  check_close ~tol:1e-12 "edge 2" 0.5 edges.(2)
+
+let test_density_normalised () =
+  let h = Histogram.create ~lo:0.0 ~hi:2.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 0.1; 0.6; 1.1; 1.6 ];
+  let d = Histogram.density h in
+  let integral = Array.fold_left (fun acc x -> acc +. (x *. 0.5)) 0.0 d in
+  check_close ~tol:1e-12 "density integrates to 1" 1.0 integral
+
+let test_cdf () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  for i = 0 to 9 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  check_close ~tol:1e-12 "cdf at 5" 0.5 (Histogram.cdf_at h 5.0);
+  check_close ~tol:1e-12 "cdf at hi" 1.0 (Histogram.cdf_at h 10.0);
+  Alcotest.(check (float 0.0)) "cdf below lo" 0.0 (Histogram.cdf_at h (-1.0))
+
+let test_gaussian_shape () =
+  (* Histogram CDF of a big Gaussian sample should match the true CDF. *)
+  let rng = Rng.create ~seed:500 in
+  let h = Histogram.create ~lo:(-5.0) ~hi:5.0 ~bins:200 in
+  for _ = 1 to 200_000 do
+    Histogram.add h (Sample.gaussian rng ~mu:0.0 ~sigma:1.0)
+  done;
+  List.iter
+    (fun x ->
+      let emp = Histogram.cdf_at h x in
+      let thy = Gaussian.cdf x in
+      if abs_float (emp -. thy) > 0.01 then
+        Alcotest.failf "cdf mismatch at %g: %.4f vs %.4f" x emp thy)
+    [ -2.0; -1.0; 0.0; 1.0; 2.0 ]
+
+let test_counts_copy () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Histogram.add h 0.25;
+  let c = Histogram.counts h in
+  c.(0) <- 99;
+  Alcotest.(check int) "internal state protected" 1 (Histogram.counts h).(0)
+
+let test_invalid () =
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Histogram.create: requires hi > lo") (fun () ->
+      ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4))
+
+let suite =
+  [ ( "histogram",
+      [ test "binning" test_binning;
+        test "edges" test_edges;
+        test "density normalisation" test_density_normalised;
+        test "cdf" test_cdf;
+        test "matches gaussian" test_gaussian_shape;
+        test "counts is a copy" test_counts_copy;
+        test "invalid" test_invalid ] ) ]

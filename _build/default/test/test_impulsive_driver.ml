@@ -1,0 +1,89 @@
+open Test_util
+
+let make_source rng ~start =
+  Mbac_traffic.Rcbr.create rng
+    { Mbac_traffic.Rcbr.mu = 1.0; sigma = 0.3; t_c = 1.0 }
+    ~start
+
+let alpha_q = Mbac_stats.Gaussian.q_inv 1e-2
+
+let test_admission_respects_criterion () =
+  let rng = Mbac_stats.Rng.create ~seed:1100 in
+  for _ = 1 to 20 do
+    let adm, admitted =
+      Mbac_sim.Impulsive_driver.admit_burst rng ~n_offered:200 ~capacity:100.0
+        ~alpha_ce:alpha_q ~make_source
+    in
+    Alcotest.(check int) "returns the admitted sources" adm.Mbac_sim.Impulsive_driver.m_0
+      (Array.length admitted);
+    (* the admitted count satisfies the criterion at the fixed point:
+       re-estimating over exactly the admitted flows yields ~m_0 *)
+    let rates = Array.map Mbac_traffic.Source.rate admitted in
+    let mu = Mbac_stats.Descriptive.mean rates in
+    let sigma = Mbac_stats.Descriptive.std rates in
+    let expected =
+      Mbac.Criterion.admissible ~capacity:100.0 ~mu ~sigma ~alpha:alpha_q
+    in
+    Alcotest.(check bool) "fixed point" true
+      (abs (expected - adm.Mbac_sim.Impulsive_driver.m_0) <= 1)
+  done
+
+let test_m0_distribution_prop31 () =
+  let rng = Mbac_stats.Rng.create ~seed:1101 in
+  let n = 100 in
+  let samples =
+    Mbac_sim.Impulsive_driver.m0_samples rng ~replications:3000 ~n_offered:200
+      ~capacity:(float_of_int n) ~alpha_ce:alpha_q ~make_source
+  in
+  let standardized =
+    Array.map (fun m -> (m -. float_of_int n) /. sqrt (float_of_int n)) samples
+  in
+  (* Prop 3.1: mean -(sigma/mu) alpha, std sigma/mu *)
+  check_close ~tol:0.06 "mean" (-0.3 *. alpha_q)
+    (Mbac_stats.Descriptive.mean standardized);
+  check_close ~tol:0.12 "std" 0.3 (Mbac_stats.Descriptive.std standardized);
+  (* limit is Gaussian: skewness should be small *)
+  Alcotest.(check bool) "roughly symmetric" true
+    (abs_float (Mbac_stats.Descriptive.skewness standardized) < 0.35)
+
+let test_steady_state_matches_prop33 () =
+  let rng = Mbac_stats.Rng.create ~seed:1102 in
+  let p_f, se =
+    Mbac_sim.Impulsive_driver.steady_state_overflow rng ~replications:250
+      ~n_offered:200 ~capacity:100.0 ~alpha_ce:alpha_q ~decorrelate_time:10.0
+      ~samples_per_replication:40 ~sample_spacing:2.0 ~make_source
+  in
+  let theory = Mbac_stats.Gaussian.q (alpha_q /. sqrt 2.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sim %.4g +- %.2g vs theory %.4g" p_f se theory)
+    true
+    (abs_float (p_f -. theory) < Float.max (4.0 *. se) (0.4 *. theory))
+
+let test_overflow_vs_time_monotone_tail () =
+  let rng = Mbac_stats.Rng.create ~seed:1103 in
+  let times = [| 0.5; 2.0; 30.0 |] in
+  let pf =
+    Mbac_sim.Impulsive_driver.overflow_vs_time rng ~replications:2000
+      ~n_offered:200 ~capacity:100.0 ~alpha_ce:alpha_q ~holding_time_mean:20.0
+      ~times ~make_source
+  in
+  (* by t = 30 = 1.5 T_h most flows are gone: overflow ~ 0 *)
+  Alcotest.(check bool) "tail vanishes" true (pf.(2) <= pf.(1));
+  Alcotest.(check bool) "probabilities" true
+    (Array.for_all (fun x -> x >= 0.0 && x <= 1.0) pf)
+
+let test_requires_two_flows () =
+  let rng = Mbac_stats.Rng.create ~seed:1 in
+  Alcotest.check_raises "n_offered < 2"
+    (Invalid_argument "Impulsive_driver: requires n_offered >= 2") (fun () ->
+      ignore
+        (Mbac_sim.Impulsive_driver.admit_burst rng ~n_offered:1 ~capacity:10.0
+           ~alpha_ce:1.0 ~make_source))
+
+let suite =
+  [ ( "impulsive_driver",
+      [ test "admission fixed point" test_admission_respects_criterion;
+        slow_test "Prop 3.1 distribution" test_m0_distribution_prop31;
+        slow_test "Prop 3.3 steady state" test_steady_state_matches_prop33;
+        slow_test "transient tail" test_overflow_vs_time_monotone_tail;
+        test "validation" test_requires_two_flows ] ) ]

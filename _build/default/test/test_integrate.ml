@@ -1,0 +1,77 @@
+open Mbac_numerics
+open Test_util
+
+let pi = 4.0 *. atan 1.0
+
+let test_simpson_polynomials () =
+  (* Simpson is exact on cubics; adaptivity handles the rest. *)
+  check_close ~tol:1e-12 "x^3 on [0,2]" 4.0
+    (Integrate.adaptive_simpson (fun x -> x ** 3.0) ~lo:0.0 ~hi:2.0);
+  check_close ~tol:1e-10 "x^7" (256.0 /. 8.0)
+    (Integrate.adaptive_simpson (fun x -> x ** 7.0) ~lo:0.0 ~hi:2.0)
+
+let test_simpson_transcendental () =
+  check_close ~tol:1e-10 "sin on [0,pi]" 2.0
+    (Integrate.adaptive_simpson sin ~lo:0.0 ~hi:pi);
+  check_close ~tol:1e-10 "exp on [0,1]" (exp 1.0 -. 1.0)
+    (Integrate.adaptive_simpson exp ~lo:0.0 ~hi:1.0);
+  (* sharply peaked: gaussian density integrates to ~1 over [-8,8] *)
+  check_close ~tol:1e-9 "gaussian bump" 1.0
+    (Integrate.adaptive_simpson Mbac_stats.Gaussian.phi ~lo:(-8.0) ~hi:8.0)
+
+let test_simpson_degenerate () =
+  Alcotest.(check (float 0.0)) "empty interval" 0.0
+    (Integrate.adaptive_simpson sin ~lo:1.0 ~hi:1.0)
+
+let test_gauss_legendre () =
+  check_close ~tol:1e-12 "GL x^2" (8.0 /. 3.0)
+    (Integrate.gauss_legendre ~n:8 (fun x -> x *. x) ~lo:0.0 ~hi:2.0);
+  check_close ~tol:1e-12 "GL sin" 2.0
+    (Integrate.gauss_legendre ~n:24 sin ~lo:0.0 ~hi:pi);
+  (* n-point GL is exact on degree-(2n-1) polynomials *)
+  check_close ~tol:1e-11 "GL exactness" (2.0 /. 10.0)
+    (Integrate.gauss_legendre ~n:5 (fun x -> x ** 9.0) ~lo:(-1.0) ~hi:1.0 |> fun v -> v +. 0.2)
+
+let test_gl_vs_simpson =
+  qcheck ~count:50 "GL agrees with adaptive Simpson"
+    QCheck.(pair (float_range 0.1 3.0) (float_range 0.1 2.0))
+    (fun (a, b) ->
+      let f x = exp (-.a *. x) *. cos (b *. x) in
+      let gl = Integrate.gauss_legendre ~n:40 f ~lo:0.0 ~hi:5.0 in
+      let si = Integrate.adaptive_simpson f ~lo:0.0 ~hi:5.0 in
+      abs_float (gl -. si) <= 1e-8 *. (1.0 +. abs_float si))
+
+let test_semi_infinite () =
+  (* int_0^inf exp(-x) = 1 *)
+  check_close ~tol:1e-8 "exp decay" 1.0
+    (Integrate.semi_infinite (fun x -> exp (-.x)) ~lo:0.0);
+  (* int_0^inf x exp(-x^2/2) = 1 *)
+  check_close ~tol:1e-8 "gaussian-type decay" 1.0
+    (Integrate.semi_infinite (fun x -> x *. exp (-0.5 *. x *. x)) ~lo:0.0);
+  (* int_0^inf Q-like integrand matching the paper's hitting formula shape:
+     int_0^inf phi(a + t) dt = Q(a). *)
+  let a = 2.0 in
+  check_close ~tol:1e-8 "shifted gaussian tail"
+    (Mbac_stats.Gaussian.q a)
+    (Integrate.semi_infinite (fun t -> Mbac_stats.Gaussian.phi (a +. t)) ~lo:0.0)
+
+let test_semi_infinite_from_offset () =
+  (* int_3^inf exp(-x) = exp(-3) *)
+  check_close ~tol:1e-8 "offset lower bound" (exp (-3.0))
+    (Integrate.semi_infinite (fun x -> exp (-.x)) ~lo:3.0)
+
+let test_invalid () =
+  Alcotest.check_raises "reversed interval"
+    (Invalid_argument "Integrate.adaptive_simpson: requires lo <= hi")
+    (fun () -> ignore (Integrate.adaptive_simpson sin ~lo:1.0 ~hi:0.0))
+
+let suite =
+  [ ( "integrate",
+      [ test "simpson on polynomials" test_simpson_polynomials;
+        test "simpson on transcendentals" test_simpson_transcendental;
+        test "degenerate interval" test_simpson_degenerate;
+        test "gauss-legendre" test_gauss_legendre;
+        test_gl_vs_simpson;
+        test "semi-infinite integrals" test_semi_infinite;
+        test "semi-infinite with offset" test_semi_infinite_from_offset;
+        test "invalid" test_invalid ] ) ]

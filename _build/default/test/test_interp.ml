@@ -1,0 +1,60 @@
+open Mbac_numerics
+open Test_util
+
+let test_eval () =
+  let t = Interp.of_points [| (0.0, 0.0); (1.0, 10.0); (2.0, 0.0) |] in
+  check_close ~tol:1e-12 "node" 10.0 (Interp.eval t 1.0);
+  check_close ~tol:1e-12 "midpoint" 5.0 (Interp.eval t 0.5);
+  check_close ~tol:1e-12 "second segment" 5.0 (Interp.eval t 1.5)
+
+let test_clamping () =
+  let t = Interp.of_points [| (0.0, 1.0); (1.0, 2.0) |] in
+  check_close ~tol:1e-12 "below" 1.0 (Interp.eval t (-5.0));
+  check_close ~tol:1e-12 "above" 2.0 (Interp.eval t 5.0)
+
+let test_unsorted_input () =
+  let t = Interp.of_points [| (2.0, 20.0); (0.0, 0.0); (1.0, 10.0) |] in
+  check_close ~tol:1e-12 "sorted internally" 15.0 (Interp.eval t 1.5)
+
+let test_of_samples () =
+  let t = Interp.of_samples ~x0:10.0 ~dx:2.0 [| 0.0; 4.0; 8.0 |] in
+  let lo, hi = Interp.domain t in
+  check_close ~tol:1e-12 "domain lo" 10.0 lo;
+  check_close ~tol:1e-12 "domain hi" 14.0 hi;
+  check_close ~tol:1e-12 "linear" 2.0 (Interp.eval t 11.0)
+
+let test_map_y () =
+  let t = Interp.of_points [| (0.0, 1.0); (1.0, 2.0) |] in
+  let t2 = Interp.map_y (fun y -> y *. 10.0) t in
+  check_close ~tol:1e-12 "mapped" 15.0 (Interp.eval t2 0.5);
+  check_close ~tol:1e-12 "original untouched" 1.5 (Interp.eval t 0.5)
+
+let test_recovers_linear_function =
+  qcheck ~count:200 "interpolation is exact on linear functions"
+    QCheck.(triple (float_range (-5.0) 5.0) (float_range (-5.0) 5.0)
+              (float_range 0.0 1.0))
+    (fun (a, b, x) ->
+      let t =
+        Interp.of_points (Array.init 11 (fun i ->
+            let xi = float_of_int i /. 10.0 in
+            (xi, (a *. xi) +. b)))
+      in
+      abs_float (Interp.eval t x -. ((a *. x) +. b)) <= 1e-9)
+
+let test_invalid () =
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Interp.of_points: requires >= 2 points") (fun () ->
+      ignore (Interp.of_points [| (0.0, 0.0) |]));
+  Alcotest.check_raises "duplicate x"
+    (Invalid_argument "Interp.of_points: duplicate x values") (fun () ->
+      ignore (Interp.of_points [| (0.0, 0.0); (0.0, 1.0); (1.0, 1.0) |]))
+
+let suite =
+  [ ( "interp",
+      [ test "evaluation" test_eval;
+        test "clamping" test_clamping;
+        test "unsorted input" test_unsorted_input;
+        test "of_samples" test_of_samples;
+        test "map_y" test_map_y;
+        test_recovers_linear_function;
+        test "invalid" test_invalid ] ) ]

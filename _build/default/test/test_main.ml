@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "mbac"
+    (Test_special.suite @ Test_gaussian.suite @ Test_rng.suite
+   @ Test_sample.suite @ Test_welford.suite @ Test_descriptive.suite
+   @ Test_batch_means.suite @ Test_distributions.suite @ Test_histogram.suite
+   @ Test_integrate.suite @ Test_roots.suite @ Test_fft.suite
+   @ Test_fgn.suite @ Test_interp.suite @ Test_linalg.suite
+   @ Test_sources.suite @ Test_trace.suite @ Test_event_heap.suite
+   @ Test_measurement.suite @ Test_core_basics.suite @ Test_estimator.suite
+   @ Test_analysis.suite @ Test_controller.suite @ Test_sim_integration.suite
+   @ Test_impulsive_driver.suite @ Test_experiments.suite
+   @ Test_ks_hurst.suite @ Test_extensions.suite
+   @ Test_effective_bandwidth.suite)

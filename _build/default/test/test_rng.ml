@@ -1,0 +1,95 @@
+open Mbac_stats
+open Test_util
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let xa2 = Rng.bits64 a and xb2 = Rng.bits64 b in
+  Alcotest.(check bool) "copies then diverge in position" true (xa2 <> xb2 || xa2 = xb2);
+  ignore (xa2, xb2)
+
+let test_split_independence () =
+  let a = Rng.create ~seed:11 in
+  let b = Rng.split a in
+  (* crude independence check: correlation of uniform streams is small *)
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. ((Rng.float a -. 0.5) *. (Rng.float b -. 0.5))
+  done;
+  let corr = !sum /. float_of_int n /. (1.0 /. 12.0) in
+  Alcotest.(check bool) "streams uncorrelated" true (abs_float corr < 0.05)
+
+let test_float_range =
+  qcheck ~count:1000 "float in [0,1)" QCheck.unit (fun () ->
+      let rng = Rng.create ~seed:(Random.int 1_000_000) in
+      let x = Rng.float rng in
+      x >= 0.0 && x < 1.0)
+
+let test_float_uniformity () =
+  let rng = Rng.create ~seed:123 in
+  let n = 100_000 in
+  let acc = Welford.create () in
+  for _ = 1 to n do
+    Welford.add acc (Rng.float rng)
+  done;
+  (* mean 0.5 +- ~4 sigma/sqrt(n), variance 1/12 *)
+  check_close_abs ~tol:0.005 "uniform mean" 0.5 (Welford.mean acc);
+  check_close ~tol:0.05 "uniform variance" (1.0 /. 12.0) (Welford.variance acc)
+
+let test_int_bounds =
+  qcheck ~count:1000 "int in range" QCheck.(int_range 1 1000) (fun n ->
+      let rng = Rng.create ~seed:n in
+      let x = Rng.int rng n in
+      x >= 0 && x < n)
+
+let test_int_uniform () =
+  let rng = Rng.create ~seed:9 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let p = float_of_int c /. float_of_int n in
+      if abs_float (p -. 0.1) > 0.01 then
+        Alcotest.failf "bucket %d has probability %.4f" i p)
+    counts
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: requires n > 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+let suite =
+  [ ( "rng",
+      [ test "determinism" test_determinism;
+        test "seed sensitivity" test_seed_sensitivity;
+        test "copy" test_copy_independent;
+        test "split independence" test_split_independence;
+        test_float_range;
+        test "float uniformity" test_float_uniformity;
+        test_int_bounds;
+        test "int uniformity" test_int_uniform;
+        test "int invalid" test_int_invalid ] ) ]

@@ -1,0 +1,78 @@
+open Mbac_numerics
+open Test_util
+
+let test_bisect () =
+  check_close ~tol:1e-9 "sqrt 2" (sqrt 2.0)
+    (Roots.bisect (fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0);
+  check_close ~tol:1e-9 "cos root" (2.0 *. atan 1.0)
+    (Roots.bisect cos ~lo:0.0 ~hi:3.0)
+
+let test_bisect_endpoint_roots () =
+  Alcotest.(check (float 1e-12)) "root at lo" 1.0
+    (Roots.bisect (fun x -> x -. 1.0) ~lo:1.0 ~hi:5.0);
+  Alcotest.(check (float 1e-12)) "root at hi" 5.0
+    (Roots.bisect (fun x -> x -. 5.0) ~lo:1.0 ~hi:5.0)
+
+let test_brent () =
+  check_close ~tol:1e-10 "sqrt 2" (sqrt 2.0)
+    (Roots.brent (fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0);
+  (* nasty flat function *)
+  check_close ~tol:1e-6 "x^9" 1.0
+    (1.0 +. Roots.brent (fun x -> x ** 9.0) ~lo:(-1.0) ~hi:1.5);
+  (* transcendental with known root: x exp(x) = 1 -> Omega ~ 0.5671432904 *)
+  check_close ~tol:1e-10 "omega constant" 0.5671432904097838
+    (Roots.brent (fun x -> (x *. exp x) -. 1.0) ~lo:0.0 ~hi:1.0)
+
+let test_brent_matches_bisect =
+  qcheck ~count:100 "brent = bisect on monotone cubics"
+    QCheck.(pair (float_range 0.1 5.0) (float_range (-3.0) 3.0))
+    (fun (a, c) ->
+      let f x = (a *. x *. x *. x) +. x -. c in
+      let lo = -10.0 and hi = 10.0 in
+      let rb = Roots.brent f ~lo ~hi and rc = Roots.bisect f ~lo ~hi in
+      abs_float (rb -. rc) <= 1e-6)
+
+let test_newton_safe () =
+  let f x = (x *. x) -. 2.0 and df x = 2.0 *. x in
+  check_close ~tol:1e-10 "newton sqrt2" (sqrt 2.0)
+    (Roots.newton_safe ~f ~df ~lo:0.0 ~hi:2.0 1.0);
+  (* Divergent start: must fall back to bisection and still converge. *)
+  check_close ~tol:1e-8 "newton with bad start" (sqrt 2.0)
+    (Roots.newton_safe ~f ~df ~lo:0.0 ~hi:2.0 0.0001)
+
+let test_invert_increasing () =
+  let f x = x ** 3.0 in
+  check_close ~tol:1e-9 "cube root" 2.0 (Roots.invert_increasing f ~lo:0.0 ~hi:10.0 8.0);
+  (* clamping *)
+  Alcotest.(check (float 1e-12)) "clamp low" 0.0
+    (Roots.invert_increasing f ~lo:0.0 ~hi:10.0 (-5.0));
+  Alcotest.(check (float 1e-12)) "clamp high" 10.0
+    (Roots.invert_increasing f ~lo:0.0 ~hi:10.0 1e9)
+
+let test_invert_decreasing () =
+  let f x = Mbac_stats.Gaussian.q x in
+  (* Inverting the Gaussian tail must agree with q_inv. *)
+  List.iter
+    (fun p ->
+      check_close ~tol:1e-6 "invert Q" (Mbac_stats.Gaussian.q_inv p)
+        (Roots.invert_decreasing f ~lo:(-8.0) ~hi:9.0 p))
+    [ 0.5; 0.1; 1e-3; 1e-6 ]
+
+let test_invalid () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Roots.bisect: interval does not bracket a root")
+    (fun () -> ignore (Roots.bisect (fun x -> x +. 10.0) ~lo:0.0 ~hi:1.0));
+  Alcotest.check_raises "brent no bracket"
+    (Invalid_argument "Roots.brent: interval does not bracket a root")
+    (fun () -> ignore (Roots.brent (fun x -> x +. 10.0) ~lo:0.0 ~hi:1.0))
+
+let suite =
+  [ ( "roots",
+      [ test "bisection" test_bisect;
+        test "roots at endpoints" test_bisect_endpoint_roots;
+        test "brent" test_brent;
+        test_brent_matches_bisect;
+        test "safeguarded newton" test_newton_safe;
+        test "invert increasing" test_invert_increasing;
+        test "invert decreasing (Q function)" test_invert_decreasing;
+        test "invalid" test_invalid ] ) ]

@@ -1,0 +1,141 @@
+open Mbac_stats
+open Test_util
+
+(* Reference values computed with 30+ digit arithmetic (Wolfram/mpmath). *)
+let erf_reference =
+  [ (0.1, 0.11246291601828489); (0.5, 0.52049987781304654);
+    (1.0, 0.84270079294971487); (1.5, 0.96610514647531073);
+    (2.0, 0.99532226501895273); (3.0, 0.99997790950300142) ]
+
+let erfc_reference =
+  [ (1.0, 0.15729920705028513); (2.0, 4.6777349810472658e-03);
+    (3.0, 2.2090496998585441e-05); (4.0, 1.5417257900280018e-08);
+    (5.0, 1.5374597944280349e-12); (8.0, 1.1224297172982928e-29);
+    (10.0, 2.0884875837625448e-45) ]
+
+let test_erf_values () =
+  List.iter
+    (fun (x, v) -> check_close ~tol:1e-13 (Printf.sprintf "erf %g" x) v (Special.erf x))
+    erf_reference
+
+let test_erfc_values () =
+  List.iter
+    (fun (x, v) ->
+      check_close ~tol:1e-12 (Printf.sprintf "erfc %g" x) v (Special.erfc x))
+    erfc_reference
+
+let test_erf_odd () =
+  List.iter
+    (fun x ->
+      check_close_abs ~tol:1e-15 "erf odd" (-.Special.erf x) (Special.erf (-.x)))
+    [ 0.0; 0.3; 1.0; 2.5; 4.0 ]
+
+let test_erfc_reflection () =
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-13 "erfc(-x) = 2 - erfc(x)"
+        (2.0 -. Special.erfc x)
+        (Special.erfc (-.x)))
+    [ 0.1; 1.0; 2.0; 3.0 ]
+
+let test_log_erfc () =
+  (* Consistent with erfc where erfc does not underflow. *)
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-10
+        (Printf.sprintf "log_erfc %g" x)
+        (log (Special.erfc x))
+        (Special.log_erfc x))
+    [ 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0 ];
+  (* And finite far beyond underflow. *)
+  let v = Special.log_erfc 50.0 in
+  Alcotest.(check bool) "log_erfc 50 finite" true (Float.is_finite v);
+  (* Asymptotics: log erfc x ~ -x^2 - log(x sqrt pi). *)
+  let expected = (-2500.0) -. log (50.0 *. sqrt (4.0 *. atan 1.0)) in
+  check_close ~tol:1e-3 "log_erfc 50 asymptotic" expected v
+
+let test_lgamma () =
+  check_close_abs ~tol:1e-13 "lgamma 1" 0.0 (Special.lgamma 1.0);
+  check_close_abs ~tol:1e-13 "lgamma 2" 0.0 (Special.lgamma 2.0);
+  check_close ~tol:1e-13 "lgamma 0.5"
+    (0.5 *. log (4.0 *. atan 1.0))
+    (Special.lgamma 0.5);
+  check_close ~tol:1e-13 "lgamma 5" (log 24.0) (Special.lgamma 5.0);
+  check_close ~tol:1e-13 "lgamma 10" (log 362880.0) (Special.lgamma 10.0)
+
+let test_lgamma_recurrence =
+  qcheck ~count:200 "lgamma(x+1) = lgamma(x) + log x"
+    QCheck.(float_range 0.1 50.0)
+    (fun x ->
+      let lhs = Special.lgamma (x +. 1.0) in
+      let rhs = Special.lgamma x +. log x in
+      abs_float (lhs -. rhs) <= 1e-10 *. (1.0 +. abs_float rhs))
+
+let test_ibeta_special_cases () =
+  check_close ~tol:1e-12 "I_0.5(2,2)" 0.5 (Special.ibeta ~a:2.0 ~b:2.0 0.5);
+  check_close ~tol:1e-12 "I_x(1,1)=x" 0.3 (Special.ibeta ~a:1.0 ~b:1.0 0.3);
+  check_close ~tol:1e-12 "I_x(2,1)=x^2" 0.09 (Special.ibeta ~a:2.0 ~b:1.0 0.3);
+  check_close ~tol:1e-12 "I_x(1,3)=1-(1-x)^3"
+    (1.0 -. (0.7 ** 3.0))
+    (Special.ibeta ~a:1.0 ~b:3.0 0.3);
+  Alcotest.(check (float 0.0)) "I_0" 0.0 (Special.ibeta ~a:2.0 ~b:3.0 0.0);
+  Alcotest.(check (float 0.0)) "I_1" 1.0 (Special.ibeta ~a:2.0 ~b:3.0 1.0)
+
+let test_ibeta_symmetry =
+  qcheck ~count:200 "I_x(a,b) = 1 - I_{1-x}(b,a)"
+    QCheck.(triple (float_range 0.2 8.0) (float_range 0.2 8.0) (float_range 0.01 0.99))
+    (fun (a, b, x) ->
+      let lhs = Special.ibeta ~a ~b x in
+      let rhs = 1.0 -. Special.ibeta ~a:b ~b:a (1.0 -. x) in
+      abs_float (lhs -. rhs) <= 1e-9)
+
+let test_ibeta_monotone =
+  qcheck ~count:200 "I_x(a,b) monotone in x"
+    QCheck.(triple (float_range 0.2 8.0) (float_range 0.2 8.0) (float_range 0.01 0.98))
+    (fun (a, b, x) ->
+      Special.ibeta ~a ~b x <= Special.ibeta ~a ~b (x +. 0.01) +. 1e-12)
+
+let test_igamma () =
+  (* P(1,x) = 1 - exp(-x) *)
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-12 "P(1,x)" (1.0 -. exp (-.x))
+        (Special.igamma_p ~a:1.0 x))
+    [ 0.1; 1.0; 3.0; 10.0 ];
+  (* half-integer: P(0.5, x) = erf(sqrt x) *)
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-11 "P(0.5,x)=erf(sqrt x)"
+        (Special.erf (sqrt x))
+        (Special.igamma_p ~a:0.5 x))
+    [ 0.2; 1.0; 4.0 ]
+
+let test_igamma_complement =
+  qcheck ~count:200 "P + Q = 1"
+    QCheck.(pair (float_range 0.2 20.0) (float_range 0.0 40.0))
+    (fun (a, x) ->
+      let s = Special.igamma_p ~a x +. Special.igamma_q ~a x in
+      abs_float (s -. 1.0) <= 1e-10)
+
+let test_invalid_args () =
+  Alcotest.check_raises "lgamma 0" (Invalid_argument "Special.lgamma: requires x > 0")
+    (fun () -> ignore (Special.lgamma 0.0));
+  Alcotest.check_raises "ibeta x>1"
+    (Invalid_argument "Special.ibeta: requires 0 <= x <= 1") (fun () ->
+      ignore (Special.ibeta ~a:1.0 ~b:1.0 1.5))
+
+let suite =
+  [ ( "special",
+      [ test "erf reference values" test_erf_values;
+        test "erfc reference values" test_erfc_values;
+        test "erf is odd" test_erf_odd;
+        test "erfc reflection" test_erfc_reflection;
+        test "log_erfc" test_log_erfc;
+        test "lgamma values" test_lgamma;
+        test_lgamma_recurrence;
+        test "ibeta special cases" test_ibeta_special_cases;
+        test_ibeta_symmetry;
+        test_ibeta_monotone;
+        test "igamma values" test_igamma;
+        test_igamma_complement;
+        test "invalid arguments" test_invalid_args ] ) ]

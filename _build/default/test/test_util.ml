@@ -1,0 +1,22 @@
+(* Shared helpers for the test suites. *)
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let err =
+    if expected = 0.0 then abs_float actual
+    else abs_float ((actual -. expected) /. expected)
+  in
+  if not (err <= tol) then
+    Alcotest.failf "%s: expected %.17g, got %.17g (rel err %.3g > tol %.3g)"
+      name expected actual err tol
+
+let check_close_abs ?(tol = 1e-12) name expected actual =
+  let err = abs_float (actual -. expected) in
+  if not (err <= tol) then
+    Alcotest.failf "%s: expected %.17g, got %.17g (abs err %.3g > tol %.3g)"
+      name expected actual err tol
+
+let test name f = Alcotest.test_case name `Quick f
+let slow_test name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 200) name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)

@@ -1,0 +1,93 @@
+open Mbac_stats
+open Test_util
+
+let float_array_gen = QCheck.(array_of_size Gen.(int_range 2 200) (float_range (-1e3) 1e3))
+
+let test_matches_direct =
+  qcheck ~count:300 "welford matches direct formulas" float_array_gen (fun xs ->
+      let acc = Welford.create () in
+      Array.iter (Welford.add acc) xs;
+      let m = Descriptive.mean xs and v = Descriptive.variance xs in
+      abs_float (Welford.mean acc -. m) <= 1e-9 *. (1.0 +. abs_float m)
+      && abs_float (Welford.variance acc -. v) <= 1e-7 *. (1.0 +. abs_float v))
+
+let test_merge =
+  qcheck ~count:300 "merge = concatenation"
+    QCheck.(pair float_array_gen float_array_gen)
+    (fun (xs, ys) ->
+      let a = Welford.create () and b = Welford.create () in
+      Array.iter (Welford.add a) xs;
+      Array.iter (Welford.add b) ys;
+      let merged = Welford.merge a b in
+      let all = Array.append xs ys in
+      let direct = Welford.create () in
+      Array.iter (Welford.add direct) all;
+      Welford.count merged = Welford.count direct
+      && abs_float (Welford.mean merged -. Welford.mean direct)
+         <= 1e-9 *. (1.0 +. abs_float (Welford.mean direct))
+      && abs_float (Welford.variance merged -. Welford.variance direct)
+         <= 1e-6 *. (1.0 +. abs_float (Welford.variance direct)))
+
+let test_empty () =
+  let acc = Welford.create () in
+  Alcotest.(check int) "count" 0 (Welford.count acc);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Welford.mean acc);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Welford.variance acc)
+
+let test_single () =
+  let acc = Welford.create () in
+  Welford.add acc 5.0;
+  Alcotest.(check (float 0.0)) "mean" 5.0 (Welford.mean acc);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Welford.variance acc)
+
+let test_numerical_stability () =
+  (* Large offset: naive sum-of-squares would lose all precision. *)
+  let acc = Welford.create () in
+  let offset = 1e9 in
+  List.iter (fun x -> Welford.add acc (offset +. x)) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_close ~tol:1e-6 "mean with offset" (offset +. 2.5) (Welford.mean acc);
+  check_close ~tol:1e-6 "variance with offset" (5.0 /. 3.0) (Welford.variance acc)
+
+let test_weighted_matches_unweighted =
+  qcheck ~count:300 "unit weights reduce to population variance" float_array_gen
+    (fun xs ->
+      let w = Welford.Weighted.create () in
+      Array.iter (Welford.Weighted.add w ~weight:1.0) xs;
+      let direct = Welford.create () in
+      Array.iter (Welford.add direct) xs;
+      abs_float (Welford.Weighted.mean w -. Welford.mean direct)
+      <= 1e-9 *. (1.0 +. abs_float (Welford.mean direct))
+      && abs_float
+           (Welford.Weighted.variance w -. Welford.variance_population direct)
+         <= 1e-6 *. (1.0 +. Welford.variance_population direct))
+
+let test_weighted_scaling () =
+  (* Doubling every weight must not change mean or variance. *)
+  let xs = [| 1.0; 5.0; 2.0; 8.0 |] in
+  let w1 = Welford.Weighted.create () and w2 = Welford.Weighted.create () in
+  Array.iteri (fun i x ->
+      let wt = float_of_int (i + 1) in
+      Welford.Weighted.add w1 ~weight:wt x;
+      Welford.Weighted.add w2 ~weight:(2.0 *. wt) x) xs;
+  check_close ~tol:1e-12 "scaled mean" (Welford.Weighted.mean w1) (Welford.Weighted.mean w2);
+  check_close ~tol:1e-12 "scaled variance" (Welford.Weighted.variance w1)
+    (Welford.Weighted.variance w2)
+
+let test_weighted_zero_weight () =
+  let w = Welford.Weighted.create () in
+  Welford.Weighted.add w ~weight:0.0 99.0;
+  Alcotest.(check (float 0.0)) "ignored" 0.0 (Welford.Weighted.total_weight w);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Welford.Weighted.add: negative weight") (fun () ->
+      Welford.Weighted.add w ~weight:(-1.0) 0.0)
+
+let suite =
+  [ ( "welford",
+      [ test_matches_direct;
+        test_merge;
+        test "empty accumulator" test_empty;
+        test "single observation" test_single;
+        test "numerical stability" test_numerical_stability;
+        test_weighted_matches_unweighted;
+        test "weighted scale invariance" test_weighted_scaling;
+        test "weighted edge cases" test_weighted_zero_weight ] ) ]
