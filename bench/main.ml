@@ -151,13 +151,89 @@ let run_micro fmt =
         ols)
     (micro_tests ())
 
+(* ---------- Parallel replication engine scaling ---------- *)
+
+(* A 16-cell sweep of short continuous-load sims — the workload shape of
+   every figure reproduction — fanned out at pool widths 1/2/4.  The
+   determinism contract says the results are identical; this measures
+   whether the wall clock shrinks. *)
+let sweep ~jobs =
+  ignore
+    (Mbac_sim.Parallel.run_tasks ~jobs
+       (List.init 16 (fun i () ->
+            let cfg =
+              { (Mbac_sim.Continuous_load.default_config ~capacity:100.0
+                   ~holding_time_mean:1000.0 ~target_p_q:1e-3)
+                with
+                Mbac_sim.Continuous_load.max_events = 25_000;
+                warmup = 10.0;
+                batch_length = 100.0 }
+            in
+            let controller =
+              Mbac.Controller.with_memory ~capacity:100.0 ~p_ce:1e-3
+                ~t_m:100.0
+            in
+            let rng =
+              Mbac_stats.Rng.derive ~seed:11
+                ~tag:(Printf.sprintf "bench-scaling-%d" i)
+            in
+            Mbac_sim.Continuous_load.run rng cfg ~controller
+              ~make_source:(fun rng ~start ->
+                Mbac_traffic.Rcbr.create rng
+                  (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+                  ~start))))
+
+let run_scaling fmt =
+  let open Bechamel in
+  Format.fprintf fmt
+    "@.=== Parallel scaling (16-sim sweep, jobs in {1, 2, 4}; %d core(s) \
+     available) ===@."
+    (Mbac_sim.Parallel.default_jobs ());
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let estimate jobs =
+    let test =
+      Test.make
+        ~name:(Printf.sprintf "sweep jobs=%d" jobs)
+        (Staged.stage (fun () -> sweep ~jobs))
+    in
+    let results = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock results
+    in
+    Hashtbl.fold
+      (fun _ ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | Some _ | None -> acc)
+      ols nan
+  in
+  sweep ~jobs:2 (* warm up the domain machinery once *);
+  let base = estimate 1 in
+  Format.fprintf fmt "  %-24s %12.3f ms/run@." "sweep jobs=1" (base /. 1e6);
+  List.iter
+    (fun jobs ->
+      let est = estimate jobs in
+      Format.fprintf fmt "  %-24s %12.3f ms/run   speedup x%.2f@."
+        (Printf.sprintf "sweep jobs=%d" jobs)
+        (est /. 1e6) (base /. est))
+    [ 2; 4 ]
+
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let scaling_only = Array.exists (fun a -> a = "--scaling") Sys.argv in
   let profile =
     if full then Mbac_experiments.Common.Full else Mbac_experiments.Common.Quick
   in
   let fmt = Format.std_formatter in
-  run_reproduction ~profile fmt;
-  if not skip_micro then run_micro fmt;
+  if not scaling_only then begin
+    run_reproduction ~profile fmt;
+    if not skip_micro then run_micro fmt
+  end;
+  run_scaling fmt;
   Format.fprintf fmt "@.bench: done.@."

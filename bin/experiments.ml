@@ -5,8 +5,14 @@
 
 open Cmdliner
 
-let run_experiments list_only ids all analysis_only full seed csv_dir =
+let run_experiments list_only ids all analysis_only full seed jobs csv_dir =
+  match jobs with
+  | Some j when j < 1 -> Error "--jobs must be >= 1"
+  | _ ->
   Mbac_experiments.Common.seed := seed;
+  (match jobs with
+  | Some j -> Mbac_experiments.Common.jobs := j
+  | None -> ());
   Mbac_experiments.Common.csv_dir := csv_dir;
   let profile =
     if full then Mbac_experiments.Common.Full else Mbac_experiments.Common.Quick
@@ -66,6 +72,14 @@ let seed_opt =
   Arg.(value & opt int 20260706 & info [ "seed" ] ~docv:"N"
          ~doc:"Experiment random seed.")
 
+let jobs_opt =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Simulation worker domains (default: the number of cores). \
+                 Results are bit-identical for every value: streams are \
+                 derived from --seed and the cell tag, never from the \
+                 schedule.")
+
 let csv_dir_opt =
   Arg.(value & opt (some string) None
        & info [ "csv-dir" ] ~docv:"DIR"
@@ -75,7 +89,7 @@ let cmd =
   let term =
     Term.(
       const run_experiments $ list_flag $ run_ids $ all_flag $ analysis_flag
-      $ full_flag $ seed_opt $ csv_dir_opt)
+      $ full_flag $ seed_opt $ jobs_opt $ csv_dir_opt)
   in
   let exits = Cmd.Exit.defaults in
   Cmd.v

@@ -7,38 +7,46 @@ open Cmdliner
 type source_kind = Rcbr | Onoff | Ou | Lrd
 
 let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
-    max_events seed =
+    max_events seed reps jobs =
   let sigma = sigma_ratio *. mu in
   let p = Mbac.Params.make ~n ~mu ~sigma ~t_h ~t_c ~p_q in
   let capacity = Mbac.Params.capacity p in
   let t_h_tilde = Mbac.Params.t_h_tilde p in
   let t_m = match t_m with Some v -> v | None -> t_h_tilde in
   let peak = mu +. (3.0 *. sigma) in
-  let controller =
+  (* A controller carries mutable estimator state, so every replication
+     needs a fresh one: validate the name once, then build per task. *)
+  let make_controller =
     match controller_name with
-    | "perfect" -> Ok (Mbac.Controller.perfect p)
-    | "memoryless" -> Ok (Mbac.Controller.memoryless ~capacity ~p_ce:p_q)
-    | "memory" -> Ok (Mbac.Controller.with_memory ~capacity ~p_ce:p_q ~t_m)
-    | "robust" -> Ok (Mbac.Controller.robust p)
+    | "perfect" -> Ok (fun () -> Mbac.Controller.perfect p)
+    | "memoryless" ->
+        Ok (fun () -> Mbac.Controller.memoryless ~capacity ~p_ce:p_q)
+    | "memory" ->
+        Ok (fun () -> Mbac.Controller.with_memory ~capacity ~p_ce:p_q ~t_m)
+    | "robust" -> Ok (fun () -> Mbac.Controller.robust p)
     | "measured-sum" ->
         Ok
-          (Mbac.Controller.measured_sum ~capacity ~utilization_target:0.9
-             ~window:t_h_tilde ~peak)
+          (fun () ->
+            Mbac.Controller.measured_sum ~capacity ~utilization_target:0.9
+              ~window:t_h_tilde ~peak)
     | "hoeffding" ->
         Ok
-          (Mbac.Controller.hoeffding ~capacity ~p_ce:p_q ~peak
-             (Mbac.Estimator.ewma ~t_m))
+          (fun () ->
+            Mbac.Controller.hoeffding ~capacity ~p_ce:p_q ~peak
+              (Mbac.Estimator.ewma ~t_m))
     | "gkk" ->
         Ok
-          (Mbac.Controller.gkk ~capacity ~p_ce:p_q ~prior_mu:mu
-             ~prior_var:(sigma *. sigma) ~prior_weight:0.5)
-    | "peak-rate" -> Ok (Mbac.Controller.peak_rate ~capacity ~peak)
+          (fun () ->
+            Mbac.Controller.gkk ~capacity ~p_ce:p_q ~prior_mu:mu
+              ~prior_var:(sigma *. sigma) ~prior_weight:0.5)
+    | "peak-rate" -> Ok (fun () -> Mbac.Controller.peak_rate ~capacity ~peak)
     | other -> Error (Printf.sprintf "unknown controller %S" other)
   in
-  match controller with
+  match make_controller with
   | Error _ as e -> e
-  | Ok controller ->
-      let rng = Mbac_stats.Rng.create ~seed in
+  | Ok _ when reps < 1 -> Error "--reps must be >= 1"
+  | Ok _ when jobs < 1 -> Error "--jobs must be >= 1"
+  | Ok make_controller ->
       let lrd_trace =
         lazy
           (let trng = Mbac_stats.Rng.create ~seed:(seed + 1) in
@@ -46,6 +54,9 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
            let raw = Mbac_traffic.Mpeg_synth.generate trng params ~frames:65536 in
            Mbac_traffic.Renegotiate.segments ~segment_len:24 ~percentile:0.95 raw)
       in
+      (* Forcing a lazy from several domains races; materialize the
+         shared trace before fanning out. *)
+      if source_kind = Lrd then ignore (Lazy.force lrd_trace);
       let make_source rng ~start =
         match source_kind with
         | Rcbr ->
@@ -79,11 +90,43 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
       in
       Format.printf "system: %a@." Mbac.Params.pp p;
       Format.printf "controller: %s, source: %s@."
-        (Mbac.Controller.name controller)
+        (Mbac.Controller.name (make_controller ()))
         (match source_kind with
         | Rcbr -> "rcbr" | Onoff -> "onoff" | Ou -> "ou" | Lrd -> "lrd");
-      let result = Mbac_sim.Continuous_load.run rng cfg ~controller ~make_source in
-      Format.printf "%a@." Mbac_sim.Continuous_load.pp_result result;
+      (* Replication streams are derived from (seed, rep index) up
+         front, so the results do not depend on --jobs; a single
+         replication keeps the historical [Rng.create ~seed] stream. *)
+      let rng_for_rep i =
+        if reps = 1 then Mbac_stats.Rng.create ~seed
+        else Mbac_stats.Rng.derive ~seed ~tag:(Printf.sprintf "rep-%d" i)
+      in
+      let tasks =
+        List.init reps (fun i () ->
+            Mbac_sim.Continuous_load.run (rng_for_rep i) cfg
+              ~controller:(make_controller ()) ~make_source)
+      in
+      let results = Mbac_sim.Parallel.run_tasks ~jobs tasks in
+      List.iteri
+        (fun i result ->
+          if reps > 1 then Format.printf "--- replication %d ---@." i;
+          Format.printf "%a@." Mbac_sim.Continuous_load.pp_result result)
+        results;
+      if reps > 1 then begin
+        let p_fs =
+          Array.of_list
+            (List.map (fun r -> r.Mbac_sim.Continuous_load.p_f) results)
+        in
+        let utils =
+          Array.of_list
+            (List.map (fun r -> r.Mbac_sim.Continuous_load.utilization) results)
+        in
+        Format.printf
+          "across %d replications: p_f = %.4g +- %.2g, utilization = %.4g@."
+          reps
+          (Mbac_stats.Descriptive.mean p_fs)
+          (Mbac_stats.Descriptive.std p_fs)
+          (Mbac_stats.Descriptive.mean utils)
+      end;
       Format.printf "theory (eqn 37 at this T_m): %.4g@."
         (Mbac.Memory_formula.overflow ~p ~t_m
            ~alpha_ce:(Mbac.Params.alpha_q p));
@@ -131,7 +174,15 @@ let cmd =
                  ~doc:"Estimator memory (default: T~_h).")
       $ Arg.(value & opt int 8_000_000
              & info [ "max-events" ] ~docv:"N" ~doc:"Event cap.")
-      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed."))
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+      $ Arg.(value & opt int 1
+             & info [ "reps" ] ~docv:"N"
+                 ~doc:"Independent replications; each gets its own stream \
+                       derived from --seed and the replication index.")
+      $ Arg.(value & opt int (Mbac_sim.Parallel.default_jobs ())
+             & info [ "jobs"; "j" ] ~docv:"N"
+                 ~doc:"Worker domains for the replications (default: number \
+                       of cores).  Output is identical for every value."))
   in
   Cmd.v
     (Cmd.info "mbac_sim"

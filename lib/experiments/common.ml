@@ -9,9 +9,16 @@ let profile_of_string s =
 let seed = ref 20260706
 
 let rng_for tag =
-  (* Derive a stream from the global seed and the tag (stable string hash). *)
-  let h = Hashtbl.hash (tag, !seed) in
-  Mbac_stats.Rng.create ~seed:(h lxor (!seed * 0x9E3779B9))
+  (* Collision-resistant stream derivation: the full tag is hashed
+     (FNV-1a over every byte) and mixed with the root seed.  The stream
+     depends only on (seed, tag) — not on how many streams were derived
+     before it or on which domain asks — so sweeps are reproducible
+     cell-by-cell under any parallel schedule. *)
+  Mbac_stats.Rng.derive ~seed:!seed ~tag
+
+let jobs = ref (Mbac_sim.Parallel.default_jobs ())
+
+let par_map f xs = Mbac_sim.Parallel.map ~jobs:!jobs f xs
 
 let sim_config ~profile ~p ~t_m =
   let t_h_tilde = Mbac.Params.t_h_tilde p in

@@ -15,7 +15,23 @@ val seed : int ref
     its streams deterministically from it. *)
 
 val rng_for : string -> Mbac_stats.Rng.t
-(** Deterministic RNG derived from [!seed] and an experiment tag. *)
+(** Deterministic RNG derived from [!seed] and an experiment tag via
+    {!Mbac_stats.Rng.derive}.  Streams depend only on [(seed, tag)], so
+    the same cell sees the same randomness no matter how the sweep is
+    scheduled across domains. *)
+
+val jobs : int ref
+(** Worker-pool width for simulation sweeps (default
+    {!Mbac_sim.Parallel.default_jobs}; set by [--jobs]).  Results are
+    bit-identical for every value — [1] reproduces the serial path. *)
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** [par_map f cells] evaluates the independent sweep cells [f cell]
+    on the {!Mbac_sim.Parallel} pool of [!jobs] workers, returning
+    results in submission order.  Each cell must derive its randomness
+    from {!rng_for} with a cell-unique tag and must not touch shared
+    mutable state (formatters, [csv_dir] output, …) — formatting belongs
+    in the caller, after the pool returns. *)
 
 val sim_config :
   profile:profile -> p:Mbac.Params.t -> t_m:float ->

@@ -22,7 +22,7 @@ let compute ~profile =
       ("aggregate-only", Mbac.Estimator.aggregate_only ~t_m);
       ("sliding window", Mbac.Estimator.sliding_window ~t_w:t_m) ]
   in
-  List.map
+  Common.par_map
     (fun (name, estimator) ->
       let controller =
         Mbac.Controller.certainty_equivalent ~capacity ~p_ce estimator

@@ -24,40 +24,43 @@ let compute ~profile =
       (8.0, "8x critical") ]
   in
   let m_star = float_of_int (Mbac.Criterion.m_star p) in
-  let rows =
-    List.map
-      (fun (mult, label) ->
-        let lambda = mult *. m_star /. p.Mbac.Params.t_h in
-        let cfg =
-          { (Common.sim_config ~profile ~p ~t_m) with
-            Mbac_sim.Continuous_load.arrival = `Poisson lambda }
-        in
-        let controller =
-          Mbac.Controller.with_memory ~capacity ~p_ce:p.Mbac.Params.p_q ~t_m
-        in
-        let r =
-          Mbac_sim.Continuous_load.run
-            (Common.rng_for ("arrival-" ^ label))
-            cfg ~controller ~make_source:(Common.rcbr_factory ~p)
-        in
-        { label = Printf.sprintf "poisson %s" label;
-          p_f = r.Mbac_sim.Continuous_load.p_f;
-          kind = r.Mbac_sim.Continuous_load.estimate_kind;
-          blocking = r.Mbac_sim.Continuous_load.blocking_probability;
-          utilization = r.Mbac_sim.Continuous_load.utilization })
-      rates_of_interest
+  (* One task per finite rate plus the continuous-load reference, all
+     through the same pool. *)
+  let cells =
+    List.map (fun rc -> `Rate rc) rates_of_interest @ [ `Continuous ]
   in
-  (* the continuous-load reference *)
-  let r_inf =
-    Common.run_mbac ~profile ~p ~t_m ~alpha_ce:(Mbac.Params.alpha_q p)
-      ~tag:"arrival-inf"
-  in
-  rows
-  @ [ { label = "infinite (continuous load)";
-        p_f = r_inf.Mbac_sim.Continuous_load.p_f;
-        kind = r_inf.Mbac_sim.Continuous_load.estimate_kind;
-        blocking = nan;
-        utilization = r_inf.Mbac_sim.Continuous_load.utilization } ]
+  Common.par_map
+    (function
+      | `Rate (mult, label) ->
+          let lambda = mult *. m_star /. p.Mbac.Params.t_h in
+          let cfg =
+            { (Common.sim_config ~profile ~p ~t_m) with
+              Mbac_sim.Continuous_load.arrival = `Poisson lambda }
+          in
+          let controller =
+            Mbac.Controller.with_memory ~capacity ~p_ce:p.Mbac.Params.p_q ~t_m
+          in
+          let r =
+            Mbac_sim.Continuous_load.run
+              (Common.rng_for ("arrival-" ^ label))
+              cfg ~controller ~make_source:(Common.rcbr_factory ~p)
+          in
+          { label = Printf.sprintf "poisson %s" label;
+            p_f = r.Mbac_sim.Continuous_load.p_f;
+            kind = r.Mbac_sim.Continuous_load.estimate_kind;
+            blocking = r.Mbac_sim.Continuous_load.blocking_probability;
+            utilization = r.Mbac_sim.Continuous_load.utilization }
+      | `Continuous ->
+          let r_inf =
+            Common.run_mbac ~profile ~p ~t_m ~alpha_ce:(Mbac.Params.alpha_q p)
+              ~tag:"arrival-inf"
+          in
+          { label = "infinite (continuous load)";
+            p_f = r_inf.Mbac_sim.Continuous_load.p_f;
+            kind = r_inf.Mbac_sim.Continuous_load.estimate_kind;
+            blocking = nan;
+            utilization = r_inf.Mbac_sim.Continuous_load.utilization })
+    cells
 
 let run ~profile fmt =
   Common.section fmt "arrival"

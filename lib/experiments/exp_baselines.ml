@@ -46,7 +46,9 @@ let compute ~profile =
         0.0 );
       ("peak rate", Mbac.Controller.peak_rate ~capacity ~peak, 0.0) ]
   in
-  List.map
+  (* Each controller (and its mutable estimator) belongs to exactly one
+     cell, so the cells are independent and safe to fan out. *)
+  Common.par_map
     (fun (name, controller, t_m) ->
       let cfg = Common.sim_config ~profile ~p ~t_m in
       let r =

@@ -14,24 +14,30 @@ let spec ~profile =
 
 let compute ~profile =
   let t_cs, ratios = spec ~profile in
+  (* Flatten the grid into one task list so every (T_c, ratio) cell fans
+     out across the pool at once, then reassemble by row. *)
+  let cells =
+    List.concat_map (fun t_c -> List.map (fun r -> (t_c, r)) ratios) t_cs
+  in
+  let flat =
+    Common.par_map
+      (fun (t_c, ratio) ->
+        let p = Exp_fig9.base_params t_c in
+        let t_h_tilde = Mbac.Params.t_h_tilde p in
+        let alpha = Mbac.Params.alpha_q p in
+        let t_m = ratio *. t_h_tilde in
+        let r =
+          Common.run_mbac ~profile ~p ~t_m ~alpha_ce:alpha
+            ~tag:(Printf.sprintf "fig10-%g-%g" t_c ratio)
+        in
+        r.Mbac_sim.Continuous_load.p_f)
+      cells
+  in
+  let n_ratios = List.length ratios in
+  let flat = Array.of_list flat in
   let p_f =
-    Array.of_list
-      (List.map
-         (fun t_c ->
-           let p = Exp_fig9.base_params t_c in
-           let t_h_tilde = Mbac.Params.t_h_tilde p in
-           let alpha = Mbac.Params.alpha_q p in
-           Array.of_list
-             (List.map
-                (fun ratio ->
-                  let t_m = ratio *. t_h_tilde in
-                  let r =
-                    Common.run_mbac ~profile ~p ~t_m ~alpha_ce:alpha
-                      ~tag:(Printf.sprintf "fig10-%g-%g" t_c ratio)
-                  in
-                  r.Mbac_sim.Continuous_load.p_f)
-                ratios))
-         t_cs)
+    Array.init (List.length t_cs) (fun i ->
+        Array.sub flat (i * n_ratios) n_ratios)
   in
   { t_cs; ratios; p_f }
 

@@ -23,7 +23,7 @@ let t_ms ~profile =
 let compute ~profile =
   let p = params in
   let alpha = Mbac.Params.alpha_q p in
-  List.map
+  Common.par_map
     (fun t_m ->
       let r =
         Common.run_mbac ~profile ~p ~t_m ~alpha_ce:alpha

@@ -20,7 +20,7 @@ let t_ms ~profile =
 
 let compute ~profile =
   let p = params in
-  List.map
+  Common.par_map
     (fun t_m ->
       let alpha_ce = Mbac.Inversion.adjusted_alpha_ce ~t_m p in
       (* never run looser than the target itself *)

@@ -38,7 +38,7 @@ let analysis ~mu1 ~mu2 =
 
 let compute ~profile =
   let mixes = [ (1.0, 1.0); (0.75, 1.25); (0.5, 1.5) ] in
-  List.map
+  Common.par_map
     (fun (mu1, mu2) ->
       let mean_mu = 0.5 *. (mu1 +. mu2) in
       let p =

@@ -34,7 +34,7 @@ let compute ~profile =
   let make_source rng ~start =
     Mbac_traffic.Modulated.create ~start sched (Common.rcbr_factory ~p rng ~start)
   in
-  List.map
+  Common.par_map
     (fun t_m ->
       let controller =
         Mbac.Controller.with_memory ~capacity ~p_ce:p.Mbac.Params.p_q ~t_m

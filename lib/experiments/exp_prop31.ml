@@ -14,7 +14,7 @@ let compute ~profile =
   let reps = match profile with Common.Quick -> 2_000 | Common.Full -> 20_000 in
   let mu = 1.0 and sigma = 0.3 and p_q = 1e-3 in
   let alpha = Mbac_stats.Gaussian.q_inv p_q in
-  List.map
+  Common.par_map
     (fun n ->
       let nf = float_of_int n in
       let p =

@@ -65,7 +65,7 @@ let compute ~profile =
     | Common.Quick -> [ (100, 1e-2); (400, 1e-2); (100, 1e-3) ]
     | Common.Full -> [ (100, 1e-2); (400, 1e-2); (1600, 1e-2); (100, 1e-3); (400, 1e-3) ]
   in
-  List.map
+  Common.par_map
     (fun (n, p_q) ->
       let p =
         Mbac.Params.make ~n:(float_of_int n) ~mu ~sigma ~t_h:1000.0 ~t_c:1.0

@@ -39,11 +39,13 @@ let compute ~profile =
       buffer_loss = r.Mbac_sim.Continuous_load.buffer_loss_fraction;
       utilization = r.Mbac_sim.Continuous_load.utilization }
   in
-  [ run_link "bufferless" `Bufferless;
-    run_link "rcbr renegotiation" `Renegotiation_blocking;
-    (* small buffers: fractions of (capacity x correlation time-scale) *)
-    run_link "buffered (B = 0.5)" (`Buffered 0.5);
-    run_link "buffered (B = 5)" (`Buffered 5.0) ]
+  Common.par_map
+    (fun (name, link) -> run_link name link)
+    [ ("bufferless", `Bufferless);
+      ("rcbr renegotiation", `Renegotiation_blocking);
+      (* small buffers: fractions of (capacity x correlation time-scale) *)
+      ("buffered (B = 0.5)", `Buffered 0.5);
+      ("buffered (B = 5)", `Buffered 5.0) ]
 
 let run ~profile fmt =
   Common.section fmt "service"

@@ -40,7 +40,9 @@ let compute ~profile ~memoryless =
   let make_source rng ~start = Mbac_traffic.Trace_source.create rng trace ~start in
   let alpha = Mbac_stats.Gaussian.q_inv p_ce in
   let capacity = n *. trace_mu in
-  List.map
+  (* The renegotiated trace is immutable and shared read-only by every
+     cell; each cell's playback offset comes from its own stream. *)
+  Common.par_map
     (fun t_h ->
       (* pseudo-Params: used only for time-scales in the sim config *)
       let p =

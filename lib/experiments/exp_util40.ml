@@ -21,7 +21,7 @@ let compute ~profile =
   let pairs =
     [ (alpha_q, sqrt 2.0 *. alpha_q); (alpha_q, 2.0 *. alpha_q) ]
   in
-  List.map
+  Common.par_map
     (fun (alpha_a, alpha_b) ->
       let run alpha tag =
         Common.run_mbac ~profile ~p ~t_m ~alpha_ce:alpha ~tag

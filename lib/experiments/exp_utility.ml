@@ -23,9 +23,18 @@ let compute ~profile =
     [ ("memoryless CE", 0.0);
       ("memory CE (T_m=T~_h)", t_h_tilde) ]
   in
-  List.map
-    (fun (name, t_m) ->
-      let run_u utility =
+  (* Fan out over (scheme x utility): 8 independent sims, re-grouped
+     into one row per scheme below. *)
+  let utilities =
+    [ Mbac.Utility.Step; Mbac.Utility.Linear; Mbac.Utility.Power 0.5;
+      Mbac.Utility.Threshold 0.95 ]
+  in
+  let cells =
+    List.concat_map (fun s -> List.map (fun u -> (s, u)) utilities) schemes
+  in
+  let results =
+    Common.par_map
+      (fun ((name, t_m), utility) ->
         let cfg =
           { (Common.sim_config ~profile ~p ~t_m) with
             Mbac_sim.Continuous_load.utility }
@@ -36,12 +45,16 @@ let compute ~profile =
         Mbac_sim.Continuous_load.run
           (Common.rng_for
              (Printf.sprintf "utility-%s-%s" name (Mbac.Utility.name utility)))
-          cfg ~controller ~make_source:(Common.rcbr_factory ~p)
-      in
-      let r_step = run_u Mbac.Utility.Step in
-      let r_lin = run_u Mbac.Utility.Linear in
-      let r_pow = run_u (Mbac.Utility.Power 0.5) in
-      let r_thr = run_u (Mbac.Utility.Threshold 0.95) in
+          cfg ~controller ~make_source:(Common.rcbr_factory ~p))
+      cells
+  in
+  let results = Array.of_list results in
+  List.mapi
+    (fun i (name, _t_m) ->
+      let r_step = results.(4 * i)
+      and r_lin = results.((4 * i) + 1)
+      and r_pow = results.((4 * i) + 2)
+      and r_thr = results.((4 * i) + 3) in
       { scheme = name;
         p_f = r_step.Mbac_sim.Continuous_load.p_f;
         u_step = r_step.Mbac_sim.Continuous_load.mean_utility;

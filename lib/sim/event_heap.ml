@@ -4,9 +4,17 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a entry;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () =
+  (* Placeholder for slots >= size, so vacated slots never pin popped
+     payloads for the lifetime of the heap.  The payload is an immediate
+     masquerading as 'a: it is GC-safe and no code path reads a slot
+     beyond [size]. *)
+  let dummy = { time = 0.0; seq = 0; payload = Obj.magic 0 } in
+  { data = [||]; size = 0; next_seq = 0; dummy }
+
 let size t = t.size
 let is_empty t = t.size = 0
 
@@ -16,9 +24,7 @@ let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    (* dummy entry to fill the slack; never read past [size] *)
-    let dummy = t.data.(0) in
-    let data = Array.make ncap dummy in
+    let data = Array.make ncap t.dummy in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -27,7 +33,7 @@ let push t ~time payload =
   if Float.is_nan time then invalid_arg "Event_heap.push: NaN time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.data = 0 then t.data <- Array.make 16 entry else grow t;
+  grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   (* sift up *)
@@ -51,8 +57,11 @@ let pop t =
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
+    if t.size > 0 then t.data.(0) <- t.data.(t.size);
+    (* Release the vacated slot so the popped entry (and, transitively,
+       its payload) becomes collectable as soon as the caller drops it. *)
+    t.data.(t.size) <- t.dummy;
     if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
@@ -73,4 +82,6 @@ let pop t =
     Some (top.time, top.payload)
   end
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0

@@ -13,6 +13,8 @@ val push : 'a t -> time:float -> 'a -> unit
 
 val peek_time : 'a t -> float option
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event. *)
+(** Remove and return the earliest event.  The vacated slot is released
+    immediately: the heap retains no reference to popped payloads. *)
 
 val clear : 'a t -> unit
+(** Drop every pending event (and any references to their payloads). *)

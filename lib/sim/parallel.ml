@@ -1,0 +1,64 @@
+type task_outcome = Done | Failed of exn * Printexc.raw_backtrace
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* One shared work queue (an atomic cursor over the task array), one
+   result slot per task.  Workers claim the next unclaimed index and
+   write into their own slot, so the only contended word is the cursor;
+   [Domain.join] publishes every slot back to the submitting domain. *)
+let run_tasks ?jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let jobs =
+      match jobs with
+      | Some j when j < 1 -> invalid_arg "Parallel.run_tasks: jobs < 1"
+      | Some j -> min j n
+      | None -> min (default_jobs ()) n
+    in
+    let results = Array.make n None in
+    let exec i =
+      results.(i) <-
+        Some
+          (try
+             let r = tasks.(i) () in
+             (Some r, Done)
+           with e -> (None, Failed (e, Printexc.get_raw_backtrace ())))
+    in
+    if jobs = 1 then
+      (* Serial path: same claiming order, no domains — this is what
+         [--jobs 1] means and what the determinism contract is checked
+         against. *)
+      for i = 0 to n - 1 do exec i done
+    else begin
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          exec i;
+          worker ()
+        end
+      in
+      let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join helpers
+    end;
+    (* Re-raise the first failure in submission order; otherwise unwrap
+       in submission order. *)
+    Array.iter
+      (function
+        | Some (_, Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (_, Done) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Some r, Done) -> r
+           | Some _ | None ->
+               (* unreachable: every slot is filled with Done above *)
+               assert false)
+         results)
+  end
+
+let map ?jobs f xs = run_tasks ?jobs (List.map (fun x () -> f x) xs)

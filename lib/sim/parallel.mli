@@ -1,0 +1,33 @@
+(** Deterministic multicore replication engine.
+
+    Monte-Carlo sweeps are embarrassingly parallel: every cell
+    (replication, parameter point) is an independent simulation.  This
+    module fans a list of such tasks out over a fixed-size pool of
+    OCaml 5 domains and returns the results {e in submission order}.
+
+    {2 Determinism contract}
+
+    The pool adds no randomness of its own.  Provided each task derives
+    its generator up front from the root seed and a task-unique tag
+    ({!Mbac_stats.Rng.derive} / [Common.rng_for]) and touches no shared
+    mutable state, the result list is bit-identical for every [jobs]
+    value: [~jobs:1] runs the tasks serially in the calling domain and
+    defines the reference output, and any [jobs > 1] schedule reproduces
+    it exactly.  Output formatting must happen after the pool returns,
+    in the calling domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the widest pool worth
+    spawning on this machine. *)
+
+val run_tasks : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_tasks ~jobs tasks] executes every task on a pool of
+    [min jobs (length tasks)] domains (default {!default_jobs}) and
+    returns the results in submission order.  If any task raises, the
+    remaining claimed tasks still run to completion, then the first
+    failure in submission order is re-raised with its backtrace.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [run_tasks ~jobs (List.map (fun x () -> f x) xs)]:
+    the parallel [List.map] for independent simulation cells. *)

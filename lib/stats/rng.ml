@@ -9,13 +9,34 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create ~seed =
-  let state = ref (Int64.of_int seed) in
+let of_state64 init =
+  let state = ref init in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
+
+let create ~seed = of_state64 (Int64.of_int seed)
+
+(* FNV-1a over every byte of the string: unlike [Hashtbl.hash], which
+   both folds to 30 bits and bounds the portion of the input it reads,
+   this keeps the full 64-bit state and never truncates, so distinct
+   tags give distinct stream seeds (up to 64-bit birthday collisions). *)
+let fnv1a64 s =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := mul (logxor !h (of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let derive ~seed ~tag =
+  (* Mix the tag hash with the seed through one SplitMix64 round so that
+     (seed, tag) pairs map to well-separated 64-bit init states. *)
+  let state = ref (Int64.of_int seed) in
+  let seed_mixed = splitmix64 state in
+  of_state64 (Int64.logxor (fnv1a64 tag) seed_mixed)
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 

@@ -12,6 +12,16 @@ val create : seed:int -> t
 (** [create ~seed] builds a generator deterministically from [seed]
     (any int, including 0, is fine: the seed is diffused by SplitMix64). *)
 
+val derive : seed:int -> tag:string -> t
+(** [derive ~seed ~tag] builds a generator from the root [seed] and a
+    textual stream [tag] (experiment cell, replication index, …).  The
+    tag is hashed with 64-bit FNV-1a over {e all} of its bytes and mixed
+    with the seed through SplitMix64, so distinct tags — however long,
+    and regardless of shared prefixes — yield distinct, statistically
+    independent streams.  The derivation depends only on [(seed, tag)],
+    never on call order, which is what makes parallel replication
+    schedules deterministic (see {!Mbac_sim.Parallel}). *)
+
 val copy : t -> t
 (** [copy t] is an independent generator with identical current state. *)
 

@@ -1,0 +1,37 @@
+The determinism contract: every simulation stream is derived up front
+from (--seed, task tag), never from the execution schedule, so the
+worker-pool width must not change a single byte of output.
+
+A simulation experiment, serial vs two worker domains:
+
+  $ experiments --run prop31 --seed 11 --jobs 1 > jobs1.out
+  $ experiments --run prop31 --seed 11 --jobs 2 > jobs2.out
+  $ cmp jobs1.out jobs2.out && echo byte-identical
+  byte-identical
+
+Parallel replications of a single continuous-load run:
+
+  $ mbac_sim --reps 3 --t-h 50 --max-events 300000 --jobs 1 > reps1.out
+  $ mbac_sim --reps 3 --t-h 50 --max-events 300000 --jobs 2 > reps2.out
+  $ cmp reps1.out reps2.out && echo byte-identical
+  byte-identical
+
+A different --jobs value must never silently change the seed-derived
+results either — same seed, same numbers, whatever the pool width:
+
+  $ experiments --run prop31 --seed 11 --jobs 3 > jobs3.out
+  $ cmp jobs1.out jobs3.out && echo byte-identical
+  byte-identical
+
+Invalid pool widths are rejected:
+
+  $ experiments --run prop31 --jobs 0
+  experiments: --jobs must be >= 1
+  Usage: experiments [OPTION]…
+  Try 'experiments --help' for more information.
+  [124]
+  $ mbac_sim --jobs 0
+  mbac_sim: --jobs must be >= 1
+  Usage: mbac_sim [OPTION]…
+  Try 'mbac_sim --help' for more information.
+  [124]

@@ -60,6 +60,71 @@ let test_weight_conservation =
       let expected_batches = int_of_float (total /. 3.0) in
       abs (Batch_means.completed_batches bm - expected_batches) <= 1)
 
+let test_exact_fill () =
+  (* weight = room exactly: the batch closes with no spill and the next
+     observation starts a fresh batch. *)
+  let bm = Batch_means.create ~batch_length:10.0 in
+  Batch_means.add bm ~weight:4.0 2.0;
+  Batch_means.add bm ~weight:6.0 5.0;
+  Alcotest.(check int) "exactly one batch" 1 (Batch_means.completed_batches bm);
+  check_close ~tol:1e-12 "exact-fill mean" 3.8 (Batch_means.batch_means bm).(0);
+  (* a whole batch in one exact-length observation *)
+  Batch_means.add bm ~weight:10.0 1.0;
+  Alcotest.(check int) "second batch closed" 2 (Batch_means.completed_batches bm);
+  check_close ~tol:1e-12 "second mean" 1.0 (Batch_means.batch_means bm).(1)
+
+let test_spill_constant_value =
+  (* Whatever the split of weights across observations, a constant value
+     must give every closed batch exactly that mean — weight spilling
+     may never mix phantom mass in. *)
+  qcheck ~count:300 "spilling preserves a constant value"
+    QCheck.(
+      pair (float_range 0.5 4.0)
+        (list_of_size Gen.(int_range 1 40) (float_range 0.0 25.0)))
+    (fun (x, weights) ->
+      let bm = Batch_means.create ~batch_length:3.0 in
+      List.iter (fun w -> Batch_means.add bm ~weight:w x) weights;
+      Array.for_all
+        (fun m -> abs_float (m -. x) <= 1e-9 *. abs_float x)
+        (Batch_means.batch_means bm))
+
+let test_single_weight_spans_batches =
+  (* One observation spanning k whole batches closes exactly k and
+     leaves the remainder open (integer weights keep the float
+     arithmetic exact). *)
+  qcheck ~count:200 "one observation spanning multiple batches"
+    QCheck.(int_range 1 50)
+    (fun k ->
+      let bm = Batch_means.create ~batch_length:1.0 in
+      Batch_means.add bm ~weight:(float_of_int k) 2.5;
+      Batch_means.completed_batches bm = k
+      && Array.for_all (fun m -> m = 2.5) (Batch_means.batch_means bm))
+
+let test_spill_weighted_mean =
+  (* Total weighted mass is conserved: closed batches recover the
+     weighted mean of what went in once the totals line up exactly.
+     Integer weights on a unit batch keep everything representable. *)
+  qcheck ~count:300 "weighted mass is preserved across boundaries"
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_range 0 7) (float_range (-5.0) 5.0)))
+    (fun obs ->
+      let bm = Batch_means.create ~batch_length:1.0 in
+      List.iter
+        (fun (w, x) -> Batch_means.add bm ~weight:(float_of_int w) x)
+        obs;
+      let total_w =
+        float_of_int (List.fold_left (fun a (w, _) -> a + w) 0 obs)
+      in
+      let total_mass =
+        List.fold_left (fun a (w, x) -> a +. (float_of_int w *. x)) 0.0 obs
+      in
+      (* every unit of weight landed in some closed batch *)
+      Batch_means.completed_batches bm = int_of_float total_w
+      &&
+      let batch_mass =
+        Array.fold_left ( +. ) 0.0 (Batch_means.batch_means bm)
+      in
+      abs_float (batch_mass -. total_mass) <= 1e-9 *. (1.0 +. abs_float total_mass))
+
 let test_invalid () =
   Alcotest.check_raises "batch length 0"
     (Invalid_argument "Batch_means.create: requires batch_length > 0") (fun () ->
@@ -73,4 +138,8 @@ let suite =
         test "relative half width" test_relative_half_width;
         test "empty" test_no_batches;
         test_weight_conservation;
+        test "exact fill (weight = room)" test_exact_fill;
+        test_spill_constant_value;
+        test_single_weight_spans_batches;
+        test_spill_weighted_mean;
         test "invalid" test_invalid ] ) ]

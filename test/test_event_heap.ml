@@ -83,6 +83,69 @@ let test_interleaved =
         !model;
       !ok && Event_heap.is_empty h)
 
+let test_fifo_duplicate_times =
+  (* With heavy timestamp duplication, pops must come back stably sorted
+     by (time, insertion index) — exactly List.stable_sort on time. *)
+  qcheck ~count:300 "duplicate timestamps drain in FIFO order"
+    QCheck.(list_of_size Gen.(int_range 0 300) (int_range 0 4))
+    (fun raw ->
+      let times = List.map (fun k -> float_of_int k *. 0.5) raw in
+      let h = Event_heap.create () in
+      List.iteri (fun i t -> Event_heap.push h ~time:t (i, t)) times;
+      let expected =
+        List.stable_sort
+          (fun (_, t1) (_, t2) -> compare t1 t2)
+          (List.mapi (fun i t -> (i, t)) times)
+      in
+      let rec drain acc =
+        match Event_heap.pop h with
+        | Some (_, payload) -> drain (payload :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = expected)
+
+(* Regression: [pop] used to leave the popped entry reachable through
+   the slack slots of the backing array, pinning dead payloads for the
+   heap's lifetime. *)
+let test_pop_releases_payload () =
+  let h = Event_heap.create () in
+  let w = Weak.create 3 in
+  (* Build payloads in a helper so no local survives into the GC check. *)
+  let fill () =
+    for i = 0 to 2 do
+      let payload = ref (1000 + i) in
+      Weak.set w i (Some payload);
+      Event_heap.push h ~time:(float_of_int i) payload
+    done
+  in
+  fill ();
+  for _ = 0 to 2 do
+    ignore (Event_heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collectable after pop" i)
+      false (Weak.check w i)
+  done;
+  (* the heap stays usable afterwards *)
+  Event_heap.push h ~time:9.0 (ref 0);
+  Alcotest.(check int) "still works" 1 (Event_heap.size h)
+
+let test_clear_releases_payload () =
+  let h = Event_heap.create () in
+  let w = Weak.create 1 in
+  let fill () =
+    let payload = ref 42 in
+    Weak.set w 0 (Some payload);
+    Event_heap.push h ~time:1.0 payload
+  in
+  fill ();
+  Event_heap.clear h;
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collectable after clear" false
+    (Weak.check w 0)
+
 let test_nan_rejected () =
   let h = Event_heap.create () in
   Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: NaN time")
@@ -97,4 +160,7 @@ let suite =
         test "clear" test_clear;
         test_heap_property;
         test_interleaved;
+        test_fifo_duplicate_times;
+        test "pop releases payloads" test_pop_releases_payload;
+        test "clear releases payloads" test_clear_releases_payload;
         test "NaN rejected" test_nan_rejected ] ) ]

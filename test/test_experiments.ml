@@ -112,6 +112,25 @@ let test_common_rng_deterministic () =
   Alcotest.(check bool) "different tags differ" true
     (Mbac_stats.Rng.bits64 c <> Mbac_stats.Rng.bits64 b)
 
+(* Regression: the old [Hashtbl.hash (tag, !seed)] derivation folded
+   tags to 30 bits (and bounds the portion of a structured input it
+   reads), so distinct experiment tags could silently share one RNG
+   stream.  Long tags with a common prefix — the shape every sweep
+   generates — must yield pairwise-distinct streams. *)
+let test_rng_for_long_tags_distinct () =
+  let prefix = String.make 300 'p' in
+  let streams =
+    List.init 64 (fun i ->
+        let rng =
+          Mbac_experiments.Common.rng_for
+            (Printf.sprintf "%s-cell-%d" prefix i)
+        in
+        (Mbac_stats.Rng.bits64 rng, Mbac_stats.Rng.bits64 rng))
+  in
+  let distinct = List.sort_uniq compare streams in
+  Alcotest.(check int) "all long tags give distinct streams"
+    (List.length streams) (List.length distinct)
+
 let test_profile_parsing () =
   Alcotest.(check bool) "quick" true
     (Mbac_experiments.Common.profile_of_string "Quick" = Mbac_experiments.Common.Quick);
@@ -130,4 +149,5 @@ let suite =
         test "regimes table" test_regimes_rows;
         test "table formatting" test_common_table_formatting;
         test "deterministic experiment rngs" test_common_rng_deterministic;
+        test "long tags get distinct streams" test_rng_for_long_tags_distinct;
         test "profile parsing" test_profile_parsing ] ) ]

@@ -82,6 +82,41 @@ let test_int_invalid () =
   Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: requires n > 0")
     (fun () -> ignore (Rng.int rng 0))
 
+let test_derive_deterministic () =
+  let a = Rng.derive ~seed:7 ~tag:"cell" in
+  let b = Rng.derive ~seed:7 ~tag:"cell" in
+  Alcotest.(check int64) "same (seed, tag) same stream" (Rng.bits64 a)
+    (Rng.bits64 b);
+  let c = Rng.derive ~seed:8 ~tag:"cell" in
+  Alcotest.(check bool) "seed matters" true (Rng.bits64 b <> Rng.bits64 c);
+  let d = Rng.derive ~seed:7 ~tag:"cell2" in
+  Alcotest.(check bool) "tag matters" true
+    (Rng.bits64 (Rng.derive ~seed:7 ~tag:"cell") <> Rng.bits64 d)
+
+let test_derive_full_input () =
+  (* Every byte of the tag must count, even past any hashing prefix
+     limit: tags sharing a long prefix and differing only at the end
+     must give different streams. *)
+  let prefix = String.make 4096 'x' in
+  let a = Rng.derive ~seed:1 ~tag:(prefix ^ "-a") in
+  let b = Rng.derive ~seed:1 ~tag:(prefix ^ "-b") in
+  Alcotest.(check bool) "suffix-only difference separates streams" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_derive_no_birthday_collisions () =
+  (* 200k tags in a 30-bit hash (the old Hashtbl.hash derivation) gave
+     ~20 colliding streams; the 64-bit derivation must give none. *)
+  let seen = Hashtbl.create 500_000 in
+  for i = 0 to 199_999 do
+    let tag = Printf.sprintf "fig10-%g-%g"
+        (float_of_int i /. 7.0) (float_of_int i /. 3.0) in
+    let rng = Rng.derive ~seed:20260706 ~tag in
+    let fingerprint = (Rng.bits64 rng, Rng.bits64 rng) in
+    match Hashtbl.find_opt seen fingerprint with
+    | Some other -> Alcotest.failf "streams collide: %S vs %S" tag other
+    | None -> Hashtbl.add seen fingerprint tag
+  done
+
 let suite =
   [ ( "rng",
       [ test "determinism" test_determinism;
@@ -92,4 +127,7 @@ let suite =
         test "float uniformity" test_float_uniformity;
         test_int_bounds;
         test "int uniformity" test_int_uniform;
-        test "int invalid" test_int_invalid ] ) ]
+        test "int invalid" test_int_invalid;
+        test "derive determinism" test_derive_deterministic;
+        test "derive reads the whole tag" test_derive_full_input;
+        test "derive collision resistance" test_derive_no_birthday_collisions ] ) ]
