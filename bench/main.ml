@@ -13,14 +13,16 @@
       updates, event queue, source stepping, the eqn (37) integral) are
       visible. *)
 
+let profile_name = function
+  | Mbac_experiments.Common.Quick -> "quick"
+  | Mbac_experiments.Common.Full -> "full"
+
 let run_reproduction ~profile fmt =
   Format.fprintf fmt
     "==========================================================@.";
   Format.fprintf fmt
     " Reproduction benches (Grossglauser-Tse MBAC) -- %s profile@."
-    (match profile with
-    | Mbac_experiments.Common.Quick -> "quick"
-    | Mbac_experiments.Common.Full -> "full");
+    (profile_name profile);
   Format.fprintf fmt
     "==========================================================@.";
   Mbac_experiments.Registry.run_all ~profile fmt
@@ -121,6 +123,8 @@ let micro_tests () =
   [ t_gaussian; t_criterion; t_estimator; t_heap; t_source; t_formula37;
     t_inversion; t_fgn; t_sim ]
 
+(* Returns (name, ns/run estimate) rows for BENCH.json alongside the
+   text report. *)
 let run_micro fmt =
   let open Bechamel in
   Format.fprintf fmt "@.=== Bechamel micro-benchmarks ===@.";
@@ -128,6 +132,7 @@ let run_micro fmt =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -140,16 +145,18 @@ let run_micro fmt =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] when est >= 1e6 ->
-              Format.fprintf fmt "  %-46s %12.3f ms/run@." name (est /. 1e6)
-          | Some [ est ] when est >= 1e3 ->
-              Format.fprintf fmt "  %-46s %12.3f us/run@." name (est /. 1e3)
           | Some [ est ] ->
-              Format.fprintf fmt "  %-46s %12.1f ns/run@." name est
+              rows := (name, est) :: !rows;
+              if est >= 1e6 then
+                Format.fprintf fmt "  %-46s %12.3f ms/run@." name (est /. 1e6)
+              else if est >= 1e3 then
+                Format.fprintf fmt "  %-46s %12.3f us/run@." name (est /. 1e3)
+              else Format.fprintf fmt "  %-46s %12.1f ns/run@." name est
           | Some _ | None ->
               Format.fprintf fmt "  %-46s (no estimate)@." name)
         ols)
-    (micro_tests ())
+    (micro_tests ());
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
 
 (* ---------- Parallel replication engine scaling ---------- *)
 
@@ -183,6 +190,7 @@ let sweep ~jobs =
                   (Mbac_traffic.Rcbr.default_params ~mu:1.0)
                   ~start))))
 
+(* Returns (jobs, ns/run estimate, speedup vs jobs=1) rows. *)
 let run_scaling fmt =
   let open Bechamel in
   Format.fprintf fmt
@@ -215,25 +223,113 @@ let run_scaling fmt =
   sweep ~jobs:2 (* warm up the domain machinery once *);
   let base = estimate 1 in
   Format.fprintf fmt "  %-24s %12.3f ms/run@." "sweep jobs=1" (base /. 1e6);
-  List.iter
-    (fun jobs ->
-      let est = estimate jobs in
-      Format.fprintf fmt "  %-24s %12.3f ms/run   speedup x%.2f@."
-        (Printf.sprintf "sweep jobs=%d" jobs)
-        (est /. 1e6) (base /. est))
-    [ 2; 4 ]
+  let rest =
+    List.map
+      (fun jobs ->
+        let est = estimate jobs in
+        Format.fprintf fmt "  %-24s %12.3f ms/run   speedup x%.2f@."
+          (Printf.sprintf "sweep jobs=%d" jobs)
+          (est /. 1e6) (base /. est);
+        (jobs, est, base /. est))
+      [ 2; 4 ]
+  in
+  (1, base, 1.0) :: rest
+
+(* ---------- BENCH.json ---------- *)
+
+let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling =
+  let open Mbac_telemetry.Json in
+  let micro_json =
+    arr
+      (List.map
+         (fun (name, ns) -> obj [ ("name", string name); ("ns_per_run", float ns) ])
+         micro)
+  in
+  let scaling_json =
+    arr
+      (List.map
+         (fun (jobs, ns, speedup) ->
+           obj
+             [ ("jobs", int jobs); ("ns_per_run", float ns);
+               ("speedup", float speedup) ])
+         scaling)
+  in
+  let doc =
+    obj
+      [ ("schema", string "mbac-bench/1");
+        ("profile", string (profile_name profile));
+        ("reproduction_ns",
+         match repro_ns with Some ns -> float ns | None -> "null");
+        ("micro", micro_json);
+        ("scaling", scaling_json) ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc
 
 let () =
-  let full = Array.exists (fun a -> a = "--full") Sys.argv in
-  let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
-  let scaling_only = Array.exists (fun a -> a = "--scaling") Sys.argv in
+  let argv = Sys.argv in
+  let full = Array.exists (fun a -> a = "--full") argv in
+  let skip_micro = Array.exists (fun a -> a = "--no-micro") argv in
+  let scaling_only = Array.exists (fun a -> a = "--scaling") argv in
+  let arg_value name =
+    let v = ref None in
+    Array.iteri
+      (fun i a -> if a = name && i + 1 < Array.length argv then v := Some argv.(i + 1))
+      argv;
+    !v
+  in
+  let json_path =
+    match arg_value "--json" with Some p -> p | None -> "BENCH.json"
+  in
+  let metrics_out = arg_value "--metrics-out" in
+  let trace_out = arg_value "--trace-out" in
+  if Array.exists (fun a -> a = "--profile") argv then
+    Mbac_telemetry.Profile.set_enabled true;
+  if trace_out <> None then Mbac_telemetry.Trace.set_enabled true;
+  (* Same verbosity convention as the cmdliner binaries: warnings by
+     default, -v for info, -v -v for debug, --quiet for nothing. *)
+  let verbosity =
+    if Array.exists (fun a -> a = "--quiet" || a = "-q") argv then None
+    else
+      match
+        Array.fold_left (fun n a -> if a = "-v" then n + 1 else n) 0 argv
+      with
+      | 0 -> Some Logs.Warning
+      | 1 -> Some Logs.Info
+      | _ -> Some Logs.Debug
+  in
+  Mbac_telemetry.Logging.setup verbosity;
   let profile =
     if full then Mbac_experiments.Common.Full else Mbac_experiments.Common.Quick
   in
   let fmt = Format.std_formatter in
+  let now () = Int64.to_float (Monotonic_clock.now ()) in
+  let repro_ns = ref None in
+  let micro = ref [] in
   if not scaling_only then begin
+    let t0 = now () in
     run_reproduction ~profile fmt;
-    if not skip_micro then run_micro fmt
+    repro_ns := Some (now () -. t0);
+    if not skip_micro then micro := run_micro fmt
   end;
-  run_scaling fmt;
-  Format.fprintf fmt "@.bench: done.@."
+  let scaling = run_scaling fmt in
+  write_bench_json ~path:json_path ~profile ~repro_ns:!repro_ns ~micro:!micro
+    ~scaling;
+  Format.fprintf fmt "@.bench: wrote %s@." json_path;
+  (match metrics_out with
+  | Some path ->
+      Mbac_telemetry.Snapshot.write_files ~path (Mbac_telemetry.Snapshot.current ());
+      Format.fprintf fmt "bench: wrote %s (+ %s.prom)@." path path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+      let oc = open_out path in
+      Mbac_telemetry.Trace.dump oc;
+      close_out oc;
+      Format.fprintf fmt "bench: wrote %s@." path
+  | None -> ());
+  if Mbac_telemetry.Profile.enabled () then
+    Mbac_telemetry.Profile.report Format.err_formatter;
+  Format.fprintf fmt "bench: done.@."

@@ -5,10 +5,14 @@
 
 open Cmdliner
 
-let run_experiments list_only ids all analysis_only full seed jobs csv_dir =
+let run_experiments list_only ids all analysis_only full seed jobs csv_dir tele
+    =
   match jobs with
   | Some j when j < 1 -> Error "--jobs must be >= 1"
+  | _ when tele.Mbac_telemetry_cli.Flags.trace_sample < 1 ->
+      Error "--trace-sample must be >= 1"
   | _ ->
+  Mbac_telemetry_cli.Flags.install tele;
   Mbac_experiments.Common.seed := seed;
   (match jobs with
   | Some j -> Mbac_experiments.Common.jobs := j
@@ -18,6 +22,7 @@ let run_experiments list_only ids all analysis_only full seed jobs csv_dir =
     if full then Mbac_experiments.Common.Full else Mbac_experiments.Common.Quick
   in
   let fmt = Format.std_formatter in
+  let result =
   if list_only then begin
     Format.fprintf fmt "Available experiments:@.";
     List.iter
@@ -45,11 +50,16 @@ let run_experiments list_only ids all analysis_only full seed jobs csv_dir =
           | id :: rest -> (
               match Mbac_experiments.Registry.find id with
               | Some e ->
-                  e.Mbac_experiments.Registry.run ~profile fmt;
+                  Mbac_experiments.Registry.run_entry ~profile fmt e;
                   go rest
               | None -> Error (Printf.sprintf "unknown experiment %S" id))
         in
         go ids
+  in
+  (match result with
+  | Ok () -> Mbac_telemetry_cli.Flags.finish tele
+  | Error _ -> ());
+  result
 
 let list_flag =
   Arg.(value & flag & info [ "list"; "l" ] ~doc:"List available experiments.")
@@ -89,7 +99,8 @@ let cmd =
   let term =
     Term.(
       const run_experiments $ list_flag $ run_ids $ all_flag $ analysis_flag
-      $ full_flag $ seed_opt $ jobs_opt $ csv_dir_opt)
+      $ full_flag $ seed_opt $ jobs_opt $ csv_dir_opt
+      $ Mbac_telemetry_cli.Flags.term)
   in
   let exits = Cmd.Exit.defaults in
   Cmd.v

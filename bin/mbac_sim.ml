@@ -7,7 +7,7 @@ open Cmdliner
 type source_kind = Rcbr | Onoff | Ou | Lrd
 
 let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
-    max_events seed reps jobs =
+    max_events seed reps jobs tele =
   let sigma = sigma_ratio *. mu in
   let p = Mbac.Params.make ~n ~mu ~sigma ~t_h ~t_c ~p_q in
   let capacity = Mbac.Params.capacity p in
@@ -46,7 +46,10 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
   | Error _ as e -> e
   | Ok _ when reps < 1 -> Error "--reps must be >= 1"
   | Ok _ when jobs < 1 -> Error "--jobs must be >= 1"
+  | Ok _ when tele.Mbac_telemetry_cli.Flags.trace_sample < 1 ->
+      Error "--trace-sample must be >= 1"
   | Ok make_controller ->
+      Mbac_telemetry_cli.Flags.install tele;
       let lrd_trace =
         lazy
           (let trng = Mbac_stats.Rng.create ~seed:(seed + 1) in
@@ -89,10 +92,11 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
           max_events }
       in
       Format.printf "system: %a@." Mbac.Params.pp p;
-      Format.printf "controller: %s, source: %s@."
+      Format.printf "controller: %s, source: %s, replications: %d@."
         (Mbac.Controller.name (make_controller ()))
         (match source_kind with
-        | Rcbr -> "rcbr" | Onoff -> "onoff" | Ou -> "ou" | Lrd -> "lrd");
+        | Rcbr -> "rcbr" | Onoff -> "onoff" | Ou -> "ou" | Lrd -> "lrd")
+        reps;
       (* Replication streams are derived from (seed, rep index) up
          front, so the results do not depend on --jobs; a single
          replication keeps the historical [Rng.create ~seed] stream. *)
@@ -112,24 +116,32 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
           Format.printf "%a@." Mbac_sim.Continuous_load.pp_result result)
         results;
       if reps > 1 then begin
-        let p_fs =
-          Array.of_list
-            (List.map (fun r -> r.Mbac_sim.Continuous_load.p_f) results)
+        (* Student-t interval over the replication means: one batch per
+           replication (replications are independent by construction, so
+           batch means are exactly i.i.d. here). *)
+        let batch_ci field =
+          let bm = Mbac_stats.Batch_means.create ~batch_length:1.0 in
+          List.iter
+            (fun r -> Mbac_stats.Batch_means.add bm ~weight:1.0 (field r))
+            results;
+          ( Mbac_stats.Batch_means.mean bm,
+            Mbac_stats.Batch_means.half_width bm ~confidence:0.95 )
         in
-        let utils =
-          Array.of_list
-            (List.map (fun r -> r.Mbac_sim.Continuous_load.utilization) results)
+        let p_f_mean, p_f_hw =
+          batch_ci (fun r -> r.Mbac_sim.Continuous_load.p_f)
+        in
+        let util_mean, util_hw =
+          batch_ci (fun r -> r.Mbac_sim.Continuous_load.utilization)
         in
         Format.printf
-          "across %d replications: p_f = %.4g +- %.2g, utilization = %.4g@."
-          reps
-          (Mbac_stats.Descriptive.mean p_fs)
-          (Mbac_stats.Descriptive.std p_fs)
-          (Mbac_stats.Descriptive.mean utils)
+          "across %d replications (batch means, 95%% CI): p_f = %.4g +- \
+           %.2g, utilization = %.4g +- %.2g@."
+          reps p_f_mean p_f_hw util_mean util_hw
       end;
       Format.printf "theory (eqn 37 at this T_m): %.4g@."
         (Mbac.Memory_formula.overflow ~p ~t_m
            ~alpha_ce:(Mbac.Params.alpha_q p));
+      Mbac_telemetry_cli.Flags.finish tele;
       Ok ()
 
 let source_conv =
@@ -182,7 +194,8 @@ let cmd =
       $ Arg.(value & opt int (Mbac_sim.Parallel.default_jobs ())
              & info [ "jobs"; "j" ] ~docv:"N"
                  ~doc:"Worker domains for the replications (default: number \
-                       of cores).  Output is identical for every value."))
+                       of cores).  Output is identical for every value.")
+      $ Mbac_telemetry_cli.Flags.term)
   in
   Cmd.v
     (Cmd.info "mbac_sim"

@@ -16,9 +16,34 @@ let reset t = t.reset ()
 
 let nop (_ : Observation.t) = ()
 
+(* Every scheme is built through [make], so wrapping [admissible] here
+   gives uniform decision telemetry for all of them: counters are always
+   on (cheap), the per-decision trace event only renders when tracing is
+   enabled.  m̂/σ̂ are the cross-sectional (eqn (23)) estimates — the
+   only measured quantities every controller shares. *)
+let instrument ~name admissible obs =
+  let m = admissible obs in
+  let n = obs.Observation.n in
+  let admit = n < m in
+  Mbac_telemetry.Metrics.inc "mbac_decisions_total";
+  Mbac_telemetry.Metrics.inc
+    (if admit then "mbac_admit_total" else "mbac_reject_total");
+  if Mbac_telemetry.Trace.enabled () then
+    Mbac_telemetry.Trace.emit ~sampled:true ~t:obs.Observation.now
+      ~kind:"decision"
+      [ ("controller", Mbac_telemetry.Trace.Str name);
+        ("n", Mbac_telemetry.Trace.Int n);
+        ("admissible", Mbac_telemetry.Trace.Int m);
+        ("admit", Mbac_telemetry.Trace.Bool admit);
+        ("mu_hat", Mbac_telemetry.Trace.Float (Observation.cross_mean obs));
+        ("sigma_hat",
+         Mbac_telemetry.Trace.Float (sqrt (Observation.cross_variance obs))) ];
+  m
+
 let make ?(on_admit = nop) ?(on_depart = nop) ?(reset = fun () -> ()) ~name
     ~observe ~admissible () =
-  { name; observe; admissible; on_admit; on_depart; reset }
+  { name; observe; admissible = instrument ~name admissible;
+    on_admit; on_depart; reset }
 
 let check_p_ce p_ce =
   if not (p_ce > 0.0 && p_ce <= 0.5) then

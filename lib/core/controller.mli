@@ -33,7 +33,13 @@ val make :
   admissible:(Observation.t -> int) ->
   unit ->
   t
-(** Escape hatch for building custom schemes. *)
+(** Escape hatch for building custom schemes.  Every controller built
+    here (including all the schemes below) is uniformly instrumented:
+    each [admissible] call counts into the [mbac_decisions_total] /
+    [mbac_admit_total] / [mbac_reject_total] telemetry counters and,
+    when tracing is on, emits a ["decision"] trace event carrying the
+    controller name, the admissible count, and the cross-sectional
+    m̂/σ̂ (see OBSERVABILITY.md). *)
 
 (** {1 The paper's schemes} *)
 

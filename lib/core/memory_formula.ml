@@ -32,8 +32,10 @@ let overflow ~p ~t_m ~alpha_ce =
     end
   in
   let hitting =
-    prefactor
-    *. Mbac_numerics.Integrate.semi_infinite ~rel_tol:1e-9 integrand ~lo:0.0
+    Mbac_telemetry.Profile.span "memory_formula.overflow" (fun () ->
+        prefactor
+        *. Mbac_numerics.Integrate.semi_infinite ~rel_tol:1e-9 integrand
+             ~lo:0.0)
   in
   hitting +. residual_term ~t_c ~t_m ~alpha_ce
 

@@ -1,5 +1,9 @@
 type profile = Quick | Full
 
+let src = Logs.Src.create "mbac.experiments" ~doc:"Experiment sweep progress"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let profile_of_string s =
   match String.lowercase_ascii s with
   | "quick" -> Quick
@@ -18,7 +22,18 @@ let rng_for tag =
 
 let jobs = ref (Mbac_sim.Parallel.default_jobs ())
 
-let par_map f xs = Mbac_sim.Parallel.map ~jobs:!jobs f xs
+(* Progress goes through Logs (stderr), never stdout: the result stream
+   stays byte-identical whatever the verbosity, and --quiet silences
+   sweeps entirely. *)
+let par_map f xs =
+  let n = List.length xs in
+  Log.info (fun m -> m "sweep: %d cell(s) on %d worker domain(s)" n !jobs);
+  let r =
+    Mbac_telemetry.Profile.span "experiments.par_map" (fun () ->
+        Mbac_sim.Parallel.map ~jobs:!jobs f xs)
+  in
+  Log.info (fun m -> m "sweep: %d cell(s) done" n);
+  r
 
 let sim_config ~profile ~p ~t_m =
   let t_h_tilde = Mbac.Params.t_h_tilde p in
@@ -66,8 +81,9 @@ let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
       ()
   in
   let cfg = sim_config ~profile ~p ~t_m in
-  Mbac_sim.Continuous_load.run (rng_for tag) cfg ~controller
-    ~make_source:(rcbr_factory ~p)
+  Mbac_telemetry.Profile.span "experiments.run_mbac" (fun () ->
+      Mbac_sim.Continuous_load.run (rng_for tag) cfg ~controller
+        ~make_source:(rcbr_factory ~p))
 
 let csv_dir = ref None
 let current_section = ref "untitled"
@@ -76,6 +92,7 @@ let tables_in_section = ref 0
 let section fmt id title =
   current_section := id;
   tables_in_section := 0;
+  Log.info (fun m -> m "section %s: %s" id title);
   Format.fprintf fmt "@.=== %s: %s ===@." id title
 
 (* Quote CSV fields that need it (commas / quotes / spaces are fine to

@@ -7,6 +7,15 @@
 
 type profile = Quick | Full
 
+val src : Logs.Src.t
+(** The [Logs] source for sweep/section progress ("mbac.experiments").
+    Progress is logged at [info] level to stderr, so result output on
+    stdout stays byte-identical at every verbosity and [--quiet]
+    silences sweeps. *)
+
+module Log : Logs.LOG
+(** Convenience log on {!src}. *)
+
 val profile_of_string : string -> profile
 (** "quick" | "full" (case-insensitive).  @raise Invalid_argument otherwise. *)
 

@@ -47,8 +47,13 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ~profile fmt =
-  List.iter (fun e -> e.run ~profile fmt) all
+let run_entry ~profile fmt e =
+  Common.Log.info (fun m -> m "experiment %s: start" e.id);
+  Mbac_telemetry.Profile.span ("experiment." ^ e.id) (fun () ->
+      e.run ~profile fmt);
+  Common.Log.info (fun m -> m "experiment %s: done" e.id)
+
+let run_all ~profile fmt = List.iter (run_entry ~profile fmt) all
 
 let run_analysis_only ~profile fmt =
-  List.iter (fun e -> if not e.simulation then e.run ~profile fmt) all
+  List.iter (fun e -> if not e.simulation then run_entry ~profile fmt e) all

@@ -13,5 +13,12 @@ val all : entry list
     fig10, fig11, fig12, regimes, util40, baselines, hetero, aggregate. *)
 
 val find : string -> entry option
+
+val run_entry : profile:Common.profile -> Format.formatter -> entry -> unit
+(** Run one experiment with uniform observability: start/done progress
+    on {!Common.src} and, when profiling is enabled, a wall-clock span
+    named [experiment.<id>]. *)
+
 val run_all : profile:Common.profile -> Format.formatter -> unit
 val run_analysis_only : profile:Common.profile -> Format.formatter -> unit
+(** Both drive every entry through {!run_entry}. *)

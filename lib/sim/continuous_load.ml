@@ -87,6 +87,12 @@ type state = {
   mutable reneg_attempts : int;
   mutable reneg_failures : int;
   mutable events : int;
+  (* telemetry: overflow-episode tracking and periodic trace snapshots *)
+  mutable ovf_start : float;   (* nan when not in an overflow episode *)
+  mutable ovf_excess : float;  (* ∫(load - capacity)dt over the episode *)
+  mutable ovf_episodes : int;
+  mutable ovf_time : float;
+  mutable next_snapshot : float;
 }
 
 let observation s =
@@ -157,8 +163,66 @@ let handle_arrival s =
         Arrive
   | `Infinite -> ()
 
+(* Overflow-episode bookkeeping over one load-constant segment: an
+   episode opens when the aggregate first exceeds capacity and closes on
+   the first segment back at or under it.  Counters are always on; the
+   start/end trace events only render when tracing is enabled. *)
+let track_overflow s ~t0 ~t1 =
+  let over = s.sum_rate > s.cfg.capacity in
+  let in_episode = not (Float.is_nan s.ovf_start) in
+  if over && not in_episode then begin
+    s.ovf_start <- t0;
+    s.ovf_excess <- 0.0;
+    s.ovf_episodes <- s.ovf_episodes + 1;
+    Mbac_telemetry.Trace.emit ~t:t0 ~kind:"overflow_start"
+      [ ("load", Mbac_telemetry.Trace.Float s.sum_rate);
+        ("capacity", Mbac_telemetry.Trace.Float s.cfg.capacity);
+        ("n", Mbac_telemetry.Trace.Int s.n) ]
+  end
+  else if (not over) && in_episode then begin
+    let duration = t0 -. s.ovf_start in
+    s.ovf_time <- s.ovf_time +. duration;
+    Mbac_telemetry.Metrics.inc "sim_overflow_episodes_total";
+    Mbac_telemetry.Metrics.add "sim_overflow_time" duration;
+    Mbac_telemetry.Metrics.add "sim_overflow_excess_volume" s.ovf_excess;
+    (* Normalized by batch_length so the histogram shape is identical
+       across sweep cells with different batch lengths (shards with
+       differently-shaped same-name histograms cannot merge). *)
+    Mbac_telemetry.Metrics.observe "sim_overflow_episode_duration_batches"
+      ~lo:0.0 ~hi:20.0 ~bins:40
+      (duration /. s.cfg.batch_length);
+    Mbac_telemetry.Trace.emit ~t:t0 ~kind:"overflow_end"
+      [ ("start", Mbac_telemetry.Trace.Float s.ovf_start);
+        ("duration", Mbac_telemetry.Trace.Float duration);
+        ("excess_volume", Mbac_telemetry.Trace.Float s.ovf_excess) ];
+    s.ovf_start <- nan;
+    s.ovf_excess <- 0.0
+  end;
+  if over then
+    s.ovf_excess <- s.ovf_excess +. ((s.sum_rate -. s.cfg.capacity) *. (t1 -. t0))
+
+(* Periodic estimator snapshots on a fixed virtual-time grid (one per
+   batch), emitted only while tracing: the running cross-sectional
+   estimate next to the measured overflow fraction so far. *)
+let emit_snapshots s ~t1 =
+  while s.next_snapshot <= t1 do
+    let t = s.next_snapshot in
+    s.next_snapshot <- s.next_snapshot +. s.cfg.batch_length;
+    let obs = observation s in
+    Mbac_telemetry.Trace.emit ~t ~kind:"estimator"
+      [ ("n", Mbac_telemetry.Trace.Int s.n);
+        ("load", Mbac_telemetry.Trace.Float s.sum_rate);
+        ("mu_hat", Mbac_telemetry.Trace.Float (Mbac.Observation.cross_mean obs));
+        ("sigma_hat",
+         Mbac_telemetry.Trace.Float (sqrt (Mbac.Observation.cross_variance obs)));
+        ("p_f_running",
+         Mbac_telemetry.Trace.Float (Measurement.overflow_fraction s.meas)) ]
+  done
+
 let record_segment s ~t0 ~t1 =
   Measurement.record s.meas ~t0 ~t1 ~load:s.sum_rate;
+  if t1 > t0 then track_overflow s ~t0 ~t1;
+  if Mbac_telemetry.Trace.enabled () then emit_snapshots s ~t1;
   (match s.buffer with
   | Some b when t1 > t0 ->
       (* feed through the warm-up (to build up a realistic level) but
@@ -266,7 +330,9 @@ let run rng cfg ~controller ~make_source =
       flow_count_stats = Mbac_stats.Welford.Weighted.create ();
       now = 0.0; n = 0; sum_rate = 0.0; sum_sq = 0.0;
       next_fid = 0; admitted = 0; departed = 0; blocked = 0;
-      reneg_attempts = 0; reneg_failures = 0; events = 0 }
+      reneg_attempts = 0; reneg_failures = 0; events = 0;
+      ovf_start = nan; ovf_excess = 0.0; ovf_episodes = 0; ovf_time = 0.0;
+      next_snapshot = cfg.warmup }
   in
   Mbac.Controller.observe controller (observation s);
   (match cfg.arrival with
@@ -297,6 +363,38 @@ let run rng cfg ~controller ~make_source =
         end);
     if s.now >= cfg.max_time || s.events >= cfg.max_events then running := false
   done;
+  (* Close an overflow episode left open at the end of the run, and fold
+     the run's totals into the telemetry shard (exact totals, added once,
+     instead of per-event increments on the hot path). *)
+  if not (Float.is_nan s.ovf_start) then begin
+    let duration = s.now -. s.ovf_start in
+    s.ovf_time <- s.ovf_time +. duration;
+    Mbac_telemetry.Metrics.inc "sim_overflow_episodes_total";
+    Mbac_telemetry.Metrics.add "sim_overflow_time" duration;
+    Mbac_telemetry.Metrics.add "sim_overflow_excess_volume" s.ovf_excess;
+    Mbac_telemetry.Metrics.observe "sim_overflow_episode_duration_batches"
+      ~lo:0.0 ~hi:20.0 ~bins:40
+      (duration /. s.cfg.batch_length);
+    Mbac_telemetry.Trace.emit ~t:s.now ~kind:"overflow_end"
+      [ ("start", Mbac_telemetry.Trace.Float s.ovf_start);
+        ("duration", Mbac_telemetry.Trace.Float duration);
+        ("excess_volume", Mbac_telemetry.Trace.Float s.ovf_excess);
+        ("truncated", Mbac_telemetry.Trace.Bool true) ]
+  end;
+  Mbac_telemetry.Metrics.inc ~by:s.events "sim_events_total";
+  Mbac_telemetry.Metrics.inc ~by:s.admitted "sim_flows_admitted_total";
+  Mbac_telemetry.Metrics.inc ~by:s.departed "sim_flows_departed_total";
+  Mbac_telemetry.Metrics.inc ~by:s.blocked "sim_flows_blocked_total";
+  Mbac_telemetry.Metrics.inc ~by:s.reneg_attempts "sim_reneg_attempts_total";
+  Mbac_telemetry.Metrics.inc ~by:s.reneg_failures "sim_reneg_failures_total";
+  Mbac_telemetry.Metrics.inc "sim_runs_total";
+  Mbac_telemetry.Metrics.add "sim_time_simulated" s.now;
+  (match s.buffer with
+  | Some b ->
+      Mbac_telemetry.Metrics.add "sim_buffer_lost_volume"
+        (Fluid_buffer.lost_volume b);
+      Mbac_telemetry.Metrics.add "sim_buffer_loss_time" (Fluid_buffer.loss_time b)
+  | None -> ());
   let p_f, estimate_kind, converged, ci_rel =
     match !stopped with
     | Some (Measurement.Converged { p_f; ci_rel }) -> (p_f, `Direct, true, ci_rel)
@@ -310,6 +408,7 @@ let run rng cfg ~controller ~make_source =
         (est, kind, false, ci)
   in
   let mean_load = Measurement.load_mean s.meas in
+  let result =
   { p_f; estimate_kind; converged; ci_rel;
     mean_flows = Mbac_stats.Welford.Weighted.mean s.flow_count_stats;
     mean_load;
@@ -338,6 +437,18 @@ let run rng cfg ~controller ~make_source =
     p_f_point = Measurement.point_fraction s.meas;
     sim_time = s.now;
     events = s.events }
+  in
+  Mbac_telemetry.Metrics.set_gauge "sim_last_p_f" result.p_f;
+  Mbac_telemetry.Metrics.set_gauge "sim_last_utilization" result.utilization;
+  Mbac_telemetry.Trace.emit ~t:s.now ~kind:"run_end"
+    [ ("controller", Mbac_telemetry.Trace.Str (Mbac.Controller.name controller));
+      ("p_f", Mbac_telemetry.Trace.Float result.p_f);
+      ("utilization", Mbac_telemetry.Trace.Float result.utilization);
+      ("overflow_episodes", Mbac_telemetry.Trace.Int s.ovf_episodes);
+      ("overflow_time", Mbac_telemetry.Trace.Float s.ovf_time);
+      ("admitted", Mbac_telemetry.Trace.Int s.admitted);
+      ("events", Mbac_telemetry.Trace.Int s.events) ];
+  result
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -6,13 +6,15 @@ type t = {
   mutable loss_time : float;
   mutable lost : float;
   mutable offered : float;
+  mutable losing : bool;
+  mutable loss_episodes : int;
 }
 
 let create ~capacity ~size =
   if capacity <= 0.0 then invalid_arg "Fluid_buffer.create: capacity <= 0";
   if size <= 0.0 then invalid_arg "Fluid_buffer.create: size <= 0";
   { capacity; size; level = 0.0; total_time = 0.0; loss_time = 0.0;
-    lost = 0.0; offered = 0.0 }
+    lost = 0.0; offered = 0.0; losing = false; loss_episodes = 0 }
 
 let level t = t.level
 
@@ -25,18 +27,29 @@ let feed t ~duration ~load =
     if drift > 0.0 then begin
       (* filling: time until the buffer hits its ceiling *)
       let to_full = (t.size -. t.level) /. drift in
-      if to_full >= duration then t.level <- t.level +. (drift *. duration)
+      if to_full >= duration then begin
+        t.level <- t.level +. (drift *. duration);
+        t.losing <- false
+      end
       else begin
         t.level <- t.size;
         let overflow_span = duration -. to_full in
         t.loss_time <- t.loss_time +. overflow_span;
-        t.lost <- t.lost +. (drift *. overflow_span)
+        t.lost <- t.lost +. (drift *. overflow_span);
+        if not t.losing then begin
+          t.losing <- true;
+          t.loss_episodes <- t.loss_episodes + 1;
+          Mbac_telemetry.Metrics.inc "buffer_loss_episodes_total"
+        end
       end
     end
-    else if drift < 0.0 then
-      (* draining; clamp at empty *)
-      t.level <- Float.max 0.0 (t.level +. (drift *. duration))
-    (* drift = 0: level unchanged *)
+    else begin
+      t.losing <- false;
+      if drift < 0.0 then
+        (* draining; clamp at empty *)
+        t.level <- Float.max 0.0 (t.level +. (drift *. duration))
+      (* drift = 0: level unchanged *)
+    end
   end
 
 let reset_statistics t =
@@ -47,6 +60,7 @@ let reset_statistics t =
 
 let total_time t = t.total_time
 let loss_time t = t.loss_time
+let loss_episodes t = t.loss_episodes
 
 let loss_time_fraction t =
   if t.total_time <= 0.0 then 0.0 else t.loss_time /. t.total_time

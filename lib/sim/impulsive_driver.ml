@@ -35,6 +35,20 @@ let admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source =
     if m' = m || k >= 20 then (m', mu_hat, sigma_hat) else fixpoint m' (k + 1)
   in
   let m_0, mu_hat, sigma_hat = fixpoint n_offered 0 in
+  Mbac_telemetry.Metrics.inc "impulsive_bursts_total";
+  Mbac_telemetry.Metrics.inc ~by:m_0 "impulsive_flows_admitted_total";
+  Mbac_telemetry.Metrics.inc ~by:(n_offered - m_0)
+    "impulsive_flows_rejected_total";
+  (* Fixed shape across all burst sizes: the admitted fraction M_0/N. *)
+  Mbac_telemetry.Metrics.observe "impulsive_m0_fraction" ~lo:0.0 ~hi:1.05
+    ~bins:21
+    (float_of_int m_0 /. float_of_int n_offered);
+  if Mbac_telemetry.Trace.enabled () then
+    Mbac_telemetry.Trace.emit ~sampled:true ~t:0.0 ~kind:"burst"
+      [ ("n_offered", Mbac_telemetry.Trace.Int n_offered);
+        ("m_0", Mbac_telemetry.Trace.Int m_0);
+        ("mu_hat", Mbac_telemetry.Trace.Float mu_hat);
+        ("sigma_hat", Mbac_telemetry.Trace.Float sigma_hat) ];
   ({ m_0; mu_hat; sigma_hat }, Array.sub sources 0 m_0)
 
 let m0_samples rng ~replications ~n_offered ~capacity ~alpha_ce ~make_source =
@@ -70,7 +84,10 @@ let steady_state_overflow rng ~replications ~n_offered ~capacity ~alpha_ce
       if total_rate admitted > capacity then incr hits
     done;
     Mbac_stats.Welford.add per_rep
-      (float_of_int !hits /. float_of_int samples_per_replication)
+      (float_of_int !hits /. float_of_int samples_per_replication);
+    Mbac_telemetry.Metrics.inc ~by:samples_per_replication
+      "impulsive_overflow_samples_total";
+    Mbac_telemetry.Metrics.inc ~by:!hits "impulsive_overflow_hits_total"
   done;
   let se =
     Mbac_stats.Welford.std per_rep /. sqrt (float_of_int replications)

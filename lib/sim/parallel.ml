@@ -18,13 +18,25 @@ let run_tasks ?jobs tasks =
       | None -> min (default_jobs ()) n
     in
     let results = Array.make n None in
+    (* Each task runs against a fresh telemetry shard (on the serial
+       path too, so [--jobs 1] has identical semantics); the shards are
+       merged into the submitting domain's shard in submission order
+       after the join, which keeps aggregated telemetry byte-identical
+       for every pool width. *)
     let exec i =
-      results.(i) <-
-        Some
-          (try
-             let r = tasks.(i) () in
-             (Some r, Done)
-           with e -> (None, Failed (e, Printexc.get_raw_backtrace ())))
+      let shard = Mbac_telemetry.Shard.create () in
+      let outcome =
+        try
+          let r =
+            Mbac_telemetry.Shard.with_current shard (fun () ->
+                Mbac_telemetry.Profile.span "parallel.task" (fun () ->
+                    Mbac_telemetry.Metrics.inc "parallel_tasks_total";
+                    tasks.(i) ()))
+          in
+          (Some r, Done)
+        with e -> (None, Failed (e, Printexc.get_raw_backtrace ()))
+      in
+      results.(i) <- Some (shard, outcome)
     in
     if jobs = 1 then
       (* Serial path: same claiming order, no domains — this is what
@@ -44,17 +56,24 @@ let run_tasks ?jobs tasks =
       worker ();
       Array.iter Domain.join helpers
     end;
-    (* Re-raise the first failure in submission order; otherwise unwrap
-       in submission order. *)
+    (* Merge telemetry in submission order (also for failed tasks, so
+       their partial counts are not lost), then re-raise the first
+       failure in submission order; otherwise unwrap in submission
+       order. *)
     Array.iter
       (function
-        | Some (_, Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | Some (_, Done) | None -> ())
+        | Some (shard, _) -> Mbac_telemetry.Shard.merge_into_current shard
+        | None -> ())
+      results;
+    Array.iter
+      (function
+        | Some (_, (_, Failed (e, bt))) -> Printexc.raise_with_backtrace e bt
+        | Some (_, (_, Done)) | None -> ())
       results;
     Array.to_list
       (Array.map
          (function
-           | Some (Some r, Done) -> r
+           | Some (_, (Some r, Done)) -> r
            | Some _ | None ->
                (* unreachable: every slot is filled with Done above *)
                assert false)

@@ -14,7 +14,17 @@
     value: [~jobs:1] runs the tasks serially in the calling domain and
     defines the reference output, and any [jobs > 1] schedule reproduces
     it exactly.  Output formatting must happen after the pool returns,
-    in the calling domain. *)
+    in the calling domain.
+
+    {2 Telemetry}
+
+    Every task runs against a fresh {!Mbac_telemetry.Shard} (on the
+    serial path too); at the join the task shards are merged into the
+    submitting domain's shard {e in submission order}, so aggregated
+    metrics and traces are byte-identical for every [jobs] value.  Each
+    task also counts into [parallel_tasks_total] and, when profiling is
+    enabled, records its wall-clock latency under the [parallel.task]
+    span. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the widest pool worth

@@ -1,0 +1,33 @@
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  escape_into b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let float x =
+  if Float.is_finite x then Printf.sprintf "%.12g" x else "null"
+
+let int = string_of_int
+let bool b = if b then "true" else "false"
+let arr elts = "[" ^ String.concat "," elts ^ "]"
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> string k ^ ":" ^ v) fields)
+  ^ "}"

@@ -1,0 +1,27 @@
+(** Minimal deterministic JSON rendering helpers.
+
+    The telemetry outputs (metric snapshots, JSONL traces, BENCH.json)
+    are rendered by hand so that the byte stream depends only on the
+    values — no pretty-printer state, no hash order.  Callers build
+    objects with {!obj}/{!arr} or append to a [Buffer] directly. *)
+
+val escape_into : Buffer.t -> string -> unit
+(** Append the JSON-escaped body of a string (no surrounding quotes). *)
+
+val string : string -> string
+(** Quoted, escaped JSON string literal. *)
+
+val float : float -> string
+(** Shortest stable rendering ([%.12g]); non-finite values (nan, ±inf)
+    render as [null], which is what they mean in a JSON document. *)
+
+val int : int -> string
+
+val bool : bool -> string
+
+val arr : string list -> string
+(** [arr renders] a JSON array from already-rendered element strings. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] renders a JSON object from (key, already-rendered
+    value) pairs, in the given order. *)

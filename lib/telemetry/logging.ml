@@ -1,0 +1,24 @@
+let reporter () =
+  let t0 = Monotonic_clock.now () in
+  let lock = Mutex.create () in
+  let report src level ~over k msgf =
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        let elapsed =
+          Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+        in
+        Mutex.lock lock;
+        Format.kfprintf
+          (fun ppf ->
+            Format.pp_print_flush ppf ();
+            Mutex.unlock lock;
+            over ();
+            k ())
+          Format.err_formatter
+          ("[%8.3fs] %a [%s] " ^^ fmt ^^ "@.")
+          elapsed Logs.pp_level level (Logs.Src.name src))
+  in
+  { Logs.report }
+
+let setup level =
+  Logs.set_reporter (reporter ());
+  Logs.set_level level

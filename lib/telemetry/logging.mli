@@ -1,0 +1,12 @@
+(** Shared [Logs] setup for the binaries.
+
+    One reporter for the whole process: stderr, an elapsed-wall-time
+    stamp, the level, and the source name.  Result output (tables,
+    simulation summaries) stays on stdout; diagnostics go through [Logs]
+    so [--quiet]/[-v]/[--verbosity] (the [Logs_cli.level] flags wired
+    into every binary) actually control them.  The reporter is
+    mutex-guarded so worker domains may log without interleaving. *)
+
+val setup : Logs.level option -> unit
+(** Install the reporter and set the global level ([None] silences
+    everything, which is what [--quiet] maps to). *)

@@ -1,0 +1,31 @@
+let kind_error name cell want =
+  invalid_arg
+    (Printf.sprintf "Mbac_telemetry.Metrics: %S is a %s, not a %s" name
+       (Metric.kind_name cell) want)
+
+let inc ?(by = 1) name =
+  let shard = Shard.current () in
+  match Shard.get_or_create shard name (fun () -> Metric.Counter (ref 0)) with
+  | Metric.Counter r -> r := !r + by
+  | cell -> kind_error name cell "counter"
+
+let add name x =
+  let shard = Shard.current () in
+  match Shard.get_or_create shard name (fun () -> Metric.Sum (ref 0.0)) with
+  | Metric.Sum r -> r := !r +. x
+  | cell -> kind_error name cell "sum"
+
+let set_gauge name x =
+  let shard = Shard.current () in
+  match Shard.get_or_create shard name (fun () -> Metric.Gauge (ref x)) with
+  | Metric.Gauge r -> r := x
+  | cell -> kind_error name cell "gauge"
+
+let observe name ~lo ~hi ~bins x =
+  let shard = Shard.current () in
+  match
+    Shard.get_or_create shard name (fun () ->
+        Metric.Hist (Metric.Histogram.create ~lo ~hi ~bins))
+  with
+  | Metric.Hist h -> Metric.Histogram.observe h x
+  | cell -> kind_error name cell "histogram"

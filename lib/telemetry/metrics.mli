@@ -1,0 +1,26 @@
+(** Name-based metric recording against the calling domain's current
+    {!Shard}.
+
+    Recording is always on: the cost is a hash lookup and an in-place
+    update per call, and nothing is written anywhere unless a binary
+    asks for a snapshot ([--metrics-out]).  The metric catalogue lives
+    in [OBSERVABILITY.md].
+
+    A name is bound to the kind of its first use; re-using it at a
+    different kind raises [Invalid_argument] (it is a programming
+    error, not data). *)
+
+val inc : ?by:int -> string -> unit
+(** Increment a counter (default [by:1]). *)
+
+val add : string -> float -> unit
+(** Accumulate into a float sum. *)
+
+val set_gauge : string -> float -> unit
+(** Record the latest value of a gauge. *)
+
+val observe : string -> lo:float -> hi:float -> bins:int -> float -> unit
+(** Observe a value into a fixed-bucket histogram.  The shape arguments
+    are used only when the histogram is first created in the current
+    shard; call sites for one name must agree on them, since shards with
+    differently-shaped histograms of the same name refuse to merge. *)

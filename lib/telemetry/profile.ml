@@ -1,0 +1,62 @@
+type stat = {
+  count : int;
+  total_ns : int64;
+  min_ns : int64;
+  max_ns : int64;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let table : (string, stat) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let record name ns =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt table name with
+  | None ->
+      Hashtbl.replace table name
+        { count = 1; total_ns = ns; min_ns = ns; max_ns = ns }
+  | Some s ->
+      Hashtbl.replace table name
+        { count = s.count + 1;
+          total_ns = Int64.add s.total_ns ns;
+          min_ns = (if ns < s.min_ns then ns else s.min_ns);
+          max_ns = (if ns > s.max_ns then ns else s.max_ns) });
+  Mutex.unlock lock
+
+let span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Monotonic_clock.now () in
+    let finally () = record name (Int64.sub (Monotonic_clock.now ()) t0) in
+    Fun.protect ~finally f
+  end
+
+let stats () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun name s acc -> (name, s) :: acc) table [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let report fmt =
+  match stats () with
+  | [] -> Format.fprintf fmt "profile: no spans recorded@."
+  | l ->
+      Format.fprintf fmt "profile: %-40s %10s %12s %12s %12s %12s@." "span"
+        "count" "total ms" "mean ms" "min ms" "max ms";
+      List.iter
+        (fun (name, s) ->
+          Format.fprintf fmt "profile: %-40s %10d %12.3f %12.3f %12.3f %12.3f@."
+            name s.count (ms s.total_ns)
+            (ms s.total_ns /. float_of_int s.count)
+            (ms s.min_ns) (ms s.max_ns))
+        l

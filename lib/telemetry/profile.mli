@@ -1,0 +1,37 @@
+(** Opt-in wall-clock profiling spans over a monotonic clock.
+
+    Disabled by default: {!span} then costs one atomic read and calls
+    the thunk directly, so the default output of every binary stays
+    byte-identical whether or not the code is instrumented.  When
+    enabled ([--profile]), span durations are accumulated into a global
+    table (safe across domains) that {!report} prints — to stderr in the
+    binaries, so stdout, metric snapshots, and traces are never
+    perturbed.
+
+    Timings come from [Monotonic_clock] (CLOCK_MONOTONIC via the
+    bechamel stubs), so they are wall-clock, immune to system clock
+    steps, and meaningful across domains. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val span : string -> (unit -> 'a) -> 'a
+(** Run the thunk; when profiling is enabled, record its wall-clock
+    duration under the given span name (exceptions still propagate, and
+    the partial span is recorded). *)
+
+type stat = {
+  count : int;
+  total_ns : int64;
+  min_ns : int64;
+  max_ns : int64;
+}
+
+val stats : unit -> (string * stat) list
+(** Accumulated spans, sorted by name. *)
+
+val report : Format.formatter -> unit
+(** Human-readable table of {!stats}; prints a placeholder line when no
+    spans were recorded. *)
+
+val reset : unit -> unit

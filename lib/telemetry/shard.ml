@@ -1,0 +1,57 @@
+type t = {
+  table : (string, Metric.t) Hashtbl.t;
+  trace : Buffer.t;
+  emit_counts : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  { table = Hashtbl.create 64;
+    trace = Buffer.create 256;
+    emit_counts = Hashtbl.create 8 }
+
+let key = Domain.DLS.new_key create
+
+let current () = Domain.DLS.get key
+
+let with_current shard f =
+  let previous = Domain.DLS.get key in
+  Domain.DLS.set key shard;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key previous) f
+
+let reset_current () = Domain.DLS.set key (create ())
+
+let find_metric t name = Hashtbl.find_opt t.table name
+
+let get_or_create t name build =
+  match Hashtbl.find_opt t.table name with
+  | Some cell -> cell
+  | None ->
+      let cell = build () in
+      Hashtbl.replace t.table name cell;
+      cell
+
+let metrics t =
+  Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into_current src =
+  let dst = current () in
+  List.iter
+    (fun (name, cell) ->
+      match Hashtbl.find_opt dst.table name with
+      | Some into -> Metric.merge_into ~into cell
+      | None -> Hashtbl.replace dst.table name (Metric.copy cell))
+    (metrics src);
+  Buffer.add_buffer dst.trace src.trace
+
+let trace_buffer t = t.trace
+
+let bump_emit_count t kind =
+  match Hashtbl.find_opt t.emit_counts kind with
+  | Some r ->
+      let v = !r in
+      incr r;
+      v
+  | None ->
+      Hashtbl.replace t.emit_counts kind (ref 1);
+      0

@@ -1,0 +1,59 @@
+(** The per-domain telemetry cell: a metric table plus a buffered event
+    trace.
+
+    Every domain carries an ambient {e current} shard (created lazily in
+    domain-local storage).  Instrumented code — controllers, simulators,
+    the parallel engine itself — always records into the current shard
+    and never touches another domain's.
+
+    {2 Determinism contract}
+
+    [Mbac_sim.Parallel.run_tasks] installs a {e fresh} shard for every
+    task (whatever the pool width, including the serial [--jobs 1] path)
+    and merges the task shards into the submitting domain's shard {e in
+    submission order} after the join.  Counters, sums and histograms
+    merge commutatively; gauges are last-writer-wins in submission
+    order; trace buffers are concatenated in submission order.  The
+    aggregate telemetry is therefore byte-identical for every [--jobs]
+    value. *)
+
+type t
+
+val create : unit -> t
+
+val current : unit -> t
+(** The calling domain's ambient shard. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Run a thunk with the given shard installed as the calling domain's
+    current shard; the previous shard is restored afterwards (also on
+    exceptions). *)
+
+val reset_current : unit -> unit
+(** Replace the calling domain's ambient shard with a fresh one —
+    used by tests and by binaries that emit several independent
+    snapshots. *)
+
+val merge_into_current : t -> unit
+(** Merge a (quiescent) shard's metrics into the current shard per
+    {!Metric.merge_into} and append its trace buffer.  The source shard
+    must no longer be mutated concurrently. *)
+
+(** {2 Metric table} *)
+
+val find_metric : t -> string -> Metric.t option
+
+val get_or_create : t -> string -> (unit -> Metric.t) -> Metric.t
+(** Existing cell if present ({e its} kind wins), else the cell built by
+    the thunk, registered under the name. *)
+
+val metrics : t -> (string * Metric.t) list
+(** Current contents, sorted by name. *)
+
+(** {2 Trace buffer} *)
+
+val trace_buffer : t -> Buffer.t
+
+val bump_emit_count : t -> string -> int
+(** Post-increment the per-event-kind emission counter (used for
+    deterministic trace sampling); returns the pre-increment count. *)

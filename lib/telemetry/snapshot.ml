@@ -1,0 +1,177 @@
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+  sum : float;
+  count : int;
+}
+
+type value =
+  | Counter of int
+  | Sum of float
+  | Gauge of float
+  | Histogram of histogram
+
+module M = Map.Make (String)
+
+type t = value M.t
+
+let empty = M.empty
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Sum _ -> "sum"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let merge_values name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Sum x, Sum y -> Sum (x +. y)
+  | Gauge _, Gauge y -> Gauge y
+  | Histogram x, Histogram y ->
+      if x.lo <> y.lo || x.hi <> y.hi
+         || Array.length x.counts <> Array.length y.counts
+      then
+        invalid_arg
+          (Printf.sprintf "Snapshot.merge: histogram %S shape mismatch" name);
+      Histogram
+        { x with
+          counts = Array.map2 ( + ) x.counts y.counts;
+          underflow = x.underflow + y.underflow;
+          overflow = x.overflow + y.overflow;
+          sum = x.sum +. y.sum;
+          count = x.count + y.count }
+  | (Counter _ | Sum _ | Gauge _ | Histogram _), _ ->
+      invalid_arg
+        (Printf.sprintf "Snapshot.merge: %S kind mismatch (%s vs %s)" name
+           (kind_name a) (kind_name b))
+
+let add_binding acc (name, v) =
+  M.update name
+    (function None -> Some v | Some prev -> Some (merge_values name prev v))
+    acc
+
+let of_list l = List.fold_left add_binding empty l
+
+let value_of_cell = function
+  | Metric.Counter r -> Counter !r
+  | Metric.Sum r -> Sum !r
+  | Metric.Gauge r -> Gauge !r
+  | Metric.Hist h ->
+      Histogram
+        { lo = Metric.Histogram.lo h;
+          hi = Metric.Histogram.hi h;
+          counts = Metric.Histogram.counts h;
+          underflow = Metric.Histogram.underflow h;
+          overflow = Metric.Histogram.overflow h;
+          sum = Metric.Histogram.sum h;
+          count = Metric.Histogram.count h }
+
+let current () =
+  of_list
+    (List.map
+       (fun (name, cell) -> (name, value_of_cell cell))
+       (Shard.metrics (Shard.current ())))
+
+let names t = List.map fst (M.bindings t)
+let find t name = M.find_opt name t
+let bindings t = M.bindings t
+
+let merge a b = M.fold (fun name v acc -> add_binding acc (name, v)) b a
+
+let equal_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> x = y
+  | Sum x, Sum y -> x = y
+  | Gauge x, Gauge y -> x = y
+  | Histogram x, Histogram y ->
+      x.lo = y.lo && x.hi = y.hi && x.counts = y.counts
+      && x.underflow = y.underflow && x.overflow = y.overflow
+      && x.sum = y.sum && x.count = y.count
+  | (Counter _ | Sum _ | Gauge _ | Histogram _), _ -> false
+
+let equal a b = M.equal equal_value a b
+
+let json_of_value = function
+  | Counter c -> Json.obj [ ("kind", Json.string "counter"); ("value", Json.int c) ]
+  | Sum s -> Json.obj [ ("kind", Json.string "sum"); ("value", Json.float s) ]
+  | Gauge g -> Json.obj [ ("kind", Json.string "gauge"); ("value", Json.float g) ]
+  | Histogram h ->
+      Json.obj
+        [ ("kind", Json.string "histogram");
+          ("lo", Json.float h.lo);
+          ("hi", Json.float h.hi);
+          ("bins", Json.int (Array.length h.counts));
+          ("underflow", Json.int h.underflow);
+          ("overflow", Json.int h.overflow);
+          ("counts", Json.arr (List.map Json.int (Array.to_list h.counts)));
+          ("sum", Json.float h.sum);
+          ("count", Json.int h.count) ]
+
+let to_json t =
+  Json.obj (List.map (fun (name, v) -> (name, json_of_value v)) (M.bindings t))
+  ^ "\n"
+
+(* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; ours are
+   already snake_case, but sanitize defensively. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" x
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  M.iter
+    (fun name v ->
+      let name = prom_name name in
+      match v with
+      | Counter c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" name c)
+      | Sum s ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_float s))
+      | Gauge g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_float g))
+      | Histogram h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+          let bins = Array.length h.counts in
+          let width = (h.hi -. h.lo) /. float_of_int bins in
+          let cumulative = ref h.underflow in
+          for i = 0 to bins - 1 do
+            cumulative := !cumulative + h.counts.(i);
+            let le = h.lo +. (float_of_int (i + 1) *. width) in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float le)
+                 !cumulative)
+          done;
+          cumulative := !cumulative + h.overflow;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cumulative);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" name (prom_float h.sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.count))
+    t;
+  Buffer.contents b
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc s)
+
+let write_files t ~path =
+  write_string path (to_json t);
+  write_string (path ^ ".prom") (to_prometheus t)

@@ -1,0 +1,58 @@
+(** Immutable, name-sorted snapshots of a metric table, with JSON and
+    Prometheus-style renderings.
+
+    A snapshot is a pure value: taking one never perturbs the shard it
+    came from, and merging is a total function used both by tests and by
+    tools that aggregate snapshots across processes. *)
+
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;   (** in-range buckets, length [bins] *)
+  underflow : int;
+  overflow : int;
+  sum : float;
+  count : int;          (** includes out-of-range and non-finite *)
+}
+
+type value =
+  | Counter of int
+  | Sum of float
+  | Gauge of float
+  | Histogram of histogram
+
+type t
+
+val empty : t
+
+val of_list : (string * value) list -> t
+(** Build a snapshot from explicit bindings (later bindings of a
+    duplicated name are merged into earlier ones per {!merge}). *)
+
+val current : unit -> t
+(** Snapshot the calling domain's current shard. *)
+
+val names : t -> string list
+val find : t -> string -> value option
+val bindings : t -> (string * value) list
+
+val merge : t -> t -> t
+(** Union by name; counters/sums/histograms add (associative and
+    commutative), gauges take the right operand's value (associative;
+    order-sensitive by design — submission order defines the winner).
+    @raise Invalid_argument on kind or histogram-shape conflicts. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> string
+(** One JSON object keyed by metric name, names sorted; each value
+    carries a ["kind"] discriminator.  Deterministic byte-for-byte. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: counters/sums as [counter], gauges as
+    [gauge], histograms as cumulative [le]-bucketed [histogram] series
+    (the underflow bucket folds into every cumulative count, per the
+    Prometheus convention that buckets count everything [<= le]). *)
+
+val write_files : t -> path:string -> unit
+(** Write [to_json] to [path] and [to_prometheus] to [path ^ ".prom"]. *)

@@ -1,0 +1,55 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let sample = Atomic.make 1
+
+let set_sample_every k =
+  if k < 1 then invalid_arg "Trace.set_sample_every: k < 1";
+  Atomic.set sample k
+
+let sample_every () = Atomic.get sample
+
+let add_value b = function
+  | Bool v -> Buffer.add_string b (Json.bool v)
+  | Int v -> Buffer.add_string b (Json.int v)
+  | Float v -> Buffer.add_string b (Json.float v)
+  | Str v ->
+      Buffer.add_char b '"';
+      Json.escape_into b v;
+      Buffer.add_char b '"'
+
+let emit ?(sampled = false) ~t ~kind fields =
+  if enabled () then begin
+    let shard = Shard.current () in
+    let keep =
+      (not sampled)
+      ||
+      let every = sample_every () in
+      every = 1 || Shard.bump_emit_count shard kind mod every = 0
+    in
+    if keep then begin
+      let b = Shard.trace_buffer shard in
+      Buffer.add_string b "{\"t\":";
+      Buffer.add_string b (Json.float t);
+      Buffer.add_string b ",\"kind\":\"";
+      Json.escape_into b kind;
+      Buffer.add_char b '"';
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b ",\"";
+          Json.escape_into b k;
+          Buffer.add_string b "\":";
+          add_value b v)
+        fields;
+      Buffer.add_string b "}\n"
+    end
+  end
+
+let dump oc = Buffer.output_buffer oc (Shard.trace_buffer (Shard.current ()))

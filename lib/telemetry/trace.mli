@@ -1,0 +1,36 @@
+(** Structured event tracing to JSON Lines, keyed to {e simulation}
+    virtual time.
+
+    Tracing is globally off by default ([emit] is then one atomic read);
+    binaries enable it when [--trace-out] is given.  Events are rendered
+    immediately into the calling domain's shard buffer, so the file
+    written at the end is the submission-order concatenation of the task
+    buffers — byte-identical for every [--jobs] value.
+
+    The event schema (one JSON object per line, [t] and [kind] first) is
+    documented in [OBSERVABILITY.md]. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values render as [null] *)
+  | Str of string
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_sample_every : int -> unit
+(** Keep only every k-th event of each {e sampled} kind (per shard, per
+    kind, deterministically).  Default 1 = keep everything.
+    @raise Invalid_argument if [k < 1]. *)
+
+val sample_every : unit -> int
+
+val emit : ?sampled:bool -> t:float -> kind:string -> (string * value) list -> unit
+(** Append one event to the current shard's trace.  No-op while tracing
+    is disabled.  [~sampled:true] marks a high-volume kind (per-decision
+    events) subject to {!set_sample_every}; unsampled kinds (overflow
+    episodes, run boundaries) are always kept. *)
+
+val dump : out_channel -> unit
+(** Write the current shard's accumulated trace. *)

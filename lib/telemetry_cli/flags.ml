@@ -1,0 +1,69 @@
+open Cmdliner
+
+type t = {
+  metrics_out : string option;
+  trace_out : string option;
+  trace_sample : int;
+  profile : bool;
+  log_level : Logs.level option;
+}
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the final metric snapshot to $(docv) (JSON) and \
+                 $(docv).prom (Prometheus text).  Aggregation is \
+                 deterministic: the snapshot is byte-identical for every \
+                 --jobs value.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable event tracing and write the JSON-Lines trace \
+                 (admission decisions, overflow episodes, estimator \
+                 snapshots) to $(docv), keyed to simulation virtual time.  \
+                 Byte-identical for every --jobs value.")
+
+let trace_sample_arg =
+  Arg.(value & opt int 1
+       & info [ "trace-sample" ] ~docv:"K"
+           ~doc:"Keep every $(docv)-th event of high-volume trace kinds \
+                 (per-decision and per-burst events); episode and run \
+                 boundary events are always kept.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Measure wall-clock profiling spans (pool task latency, \
+                 experiment phases, hot numeric paths) and print the \
+                 report to stderr on exit.  Never perturbs stdout, \
+                 metrics, or trace output.")
+
+let make metrics_out trace_out trace_sample profile log_level =
+  { metrics_out; trace_out; trace_sample; profile; log_level }
+
+let term =
+  Term.(
+    const make $ metrics_out_arg $ trace_out_arg $ trace_sample_arg
+    $ profile_arg $ Logs_cli.level ())
+
+let install t =
+  Mbac_telemetry.Logging.setup t.log_level;
+  Mbac_telemetry.Trace.set_enabled (t.trace_out <> None);
+  Mbac_telemetry.Trace.set_sample_every t.trace_sample;
+  Mbac_telemetry.Profile.set_enabled t.profile
+
+let finish t =
+  (match t.metrics_out with
+  | Some path ->
+      Mbac_telemetry.Snapshot.write_files (Mbac_telemetry.Snapshot.current ())
+        ~path
+  | None -> ());
+  (match t.trace_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Mbac_telemetry.Trace.dump oc)
+  | None -> ());
+  if t.profile then Mbac_telemetry.Profile.report Format.err_formatter

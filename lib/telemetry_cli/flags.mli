@@ -1,0 +1,36 @@
+(** Shared cmdliner flags for the telemetry subsystem.
+
+    Every binary exposes the same surface:
+
+    - [--metrics-out FILE]: write the final metric snapshot as JSON to
+      [FILE] and as Prometheus text to [FILE.prom];
+    - [--trace-out FILE]: enable event tracing and write the JSONL trace
+      to [FILE];
+    - [--trace-sample K]: keep every K-th event of high-volume sampled
+      kinds (decisions, bursts);
+    - [--profile]: record wall-clock spans and print the report to
+      stderr on exit;
+    - [-v]/[-q]/[--verbosity LEVEL] (from [Logs_cli]): progress/log
+      verbosity, rendered by the shared timestamped stderr reporter.
+
+    Usage: include {!term} in the binary's cmdliner term, call
+    {!install} first thing in the main function, and {!finish} after the
+    work is done. *)
+
+type t = {
+  metrics_out : string option;
+  trace_out : string option;
+  trace_sample : int;
+  profile : bool;
+  log_level : Logs.level option;
+}
+
+val term : t Cmdliner.Term.t
+
+val install : t -> unit
+(** Apply the flags: set up the [Logs] reporter/level, enable tracing
+    and its sampling rate, enable profiling. *)
+
+val finish : t -> unit
+(** Write [--metrics-out] / [--trace-out] files from the calling
+    domain's shard and print the [--profile] report to stderr. *)

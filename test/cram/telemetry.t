@@ -1,0 +1,61 @@
+Telemetry determinism: metric snapshots and event traces are aggregated
+from per-task shards merged in submission order, so --metrics-out and
+--trace-out are byte-identical for every --jobs value (the acceptance
+pair is jobs 1 vs jobs 4).
+
+  $ experiments --run prop31 --seed 11 --jobs 1 \
+  >   --metrics-out m1.json --trace-out t1.jsonl > run1.out
+  $ experiments --run prop31 --seed 11 --jobs 4 \
+  >   --metrics-out m4.json --trace-out t4.jsonl > run4.out
+  $ cmp run1.out run4.out && echo stdout-identical
+  stdout-identical
+  $ cmp m1.json m4.json && echo metrics-identical
+  metrics-identical
+  $ cmp t1.jsonl t4.jsonl && echo trace-identical
+  trace-identical
+
+The snapshot is a JSON object; the trace is JSONL with the virtual time
+and event kind leading every record:
+
+  $ head -c 1 m1.json
+  {
+  $ head -1 t1.jsonl | cut -c 1-6
+  {"t":0
+
+A Prometheus rendering rides along with every metric snapshot:
+
+  $ grep -c '^# TYPE' m1.json.prom > /dev/null && echo has-prometheus-types
+  has-prometheus-types
+
+--profile writes timings to stderr only: stdout, metrics, and trace
+files are unchanged.
+
+  $ experiments --run prop31 --seed 11 --jobs 4 --profile \
+  >   --metrics-out mp.json --trace-out tp.jsonl > runp.out 2> profile.err
+  $ cmp run1.out runp.out && echo stdout-identical
+  stdout-identical
+  $ cmp m1.json mp.json && echo metrics-identical
+  metrics-identical
+  $ cmp t1.jsonl tp.jsonl && echo trace-identical
+  trace-identical
+  $ grep -c '^profile: parallel.task' profile.err
+  1
+
+The same contract holds for parallel replications in mbac_sim:
+
+  $ mbac_sim --reps 3 --t-h 50 --max-events 300000 --jobs 1 \
+  >   --metrics-out sm1.json --trace-out st1.jsonl --trace-sample 500 > sim1.out
+  $ mbac_sim --reps 3 --t-h 50 --max-events 300000 --jobs 4 \
+  >   --metrics-out sm4.json --trace-out st4.jsonl --trace-sample 500 > sim4.out
+  $ cmp sm1.json sm4.json && echo metrics-identical
+  metrics-identical
+  $ cmp st1.jsonl st4.jsonl && echo trace-identical
+  trace-identical
+
+Invalid sampling intervals are rejected:
+
+  $ experiments --run prop31 --trace-sample 0
+  experiments: --trace-sample must be >= 1
+  Usage: experiments [OPTION]…
+  Try 'experiments --help' for more information.
+  [124]

@@ -11,4 +11,4 @@ let () =
    @ Test_analysis.suite @ Test_controller.suite @ Test_sim_integration.suite
    @ Test_impulsive_driver.suite @ Test_experiments.suite
    @ Test_ks_hurst.suite @ Test_extensions.suite
-   @ Test_effective_bandwidth.suite)
+   @ Test_effective_bandwidth.suite @ Test_telemetry.suite)
