@@ -1,0 +1,164 @@
+(* Per-component minor-allocation probe for the simulator hot path.
+
+   Prints minor words per operation for each building block of the event
+   loop, so a regression in any one of them is attributable without
+   re-profiling the whole simulator.  Loop bodies accumulate results in
+   a [Float.Array] slot (unboxed store) rather than a [float ref] (whose
+   store would box 2 words per iteration and be charged to the component
+   under test). *)
+
+let facc = Float.Array.make 4 0.0
+
+let[@inline] keep_float i v =
+  Float.Array.unsafe_set facc i (Float.Array.unsafe_get facc i +. v)
+
+let words_per_op ~ops f =
+  (* warm up: fill caches, trigger table growth *)
+  f (ops / 10);
+  let before = Gc.minor_words () in
+  f ops;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int ops
+
+let report name w = Printf.printf "  %-34s %8.2f words/op\n%!" name w
+
+let () =
+  let ops = 1_000_000 in
+  Printf.printf "minor words per operation (%d ops each):\n%!" ops;
+
+  (* RNG core *)
+  let rng = Mbac_stats.Rng.create ~seed:1 in
+  report "Rng.float"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           keep_float 0 (Mbac_stats.Rng.float rng)
+         done));
+
+  report "Sample.exponential"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           keep_float 0 (Mbac_stats.Sample.exponential rng ~mean:1.0)
+         done));
+
+  report "Sample.gaussian_truncated_nonneg"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           keep_float 0
+             (Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:1.0
+                ~sigma:0.3)
+         done));
+
+  (* traffic source renegotiation *)
+  let src =
+    Mbac_traffic.Rcbr.create rng
+      (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+      ~start:0.0
+  in
+  report "Source.fire (rcbr)"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           let t = Mbac_traffic.Source.next_change src in
+           Mbac_traffic.Source.fire src ~now:t;
+           keep_float 1 t
+         done));
+
+  (* event heap push/pop cycle at steady size *)
+  let heap = Mbac_sim.Event_heap.create () in
+  for i = 1 to 200 do
+    Mbac_sim.Event_heap.push heap ~time:(float_of_int i) i
+  done;
+  report "Event_heap push+drop cycle"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           let tm = Mbac_sim.Event_heap.min_time heap in
+           Mbac_sim.Event_heap.drop_min heap;
+           Mbac_sim.Event_heap.push heap ~time:(tm +. 200.0) 7
+         done));
+
+  (* observation construction (the pointer store into [keep] does not
+     allocate; the record itself is the 5 words under test) *)
+  let obs100 =
+    Mbac.Observation.make ~now:0.0 ~n:100 ~sum_rate:100.0 ~sum_sq:110.0
+  in
+  let keep = Array.make 1 obs100 in
+  report "Observation.make"
+    (words_per_op ~ops (fun n ->
+         for i = 1 to n do
+           keep.(0) <-
+             Mbac.Observation.make ~now:(float_of_int i) ~n:100
+               ~sum_rate:100.0 ~sum_sq:110.0
+         done));
+
+  (* estimator observe / current *)
+  let est = Mbac.Estimator.ewma ~t_m:100.0 in
+  report "Estimator.observe (ewma, incl. obs)"
+    (words_per_op ~ops (fun n ->
+         for i = 1 to n do
+           let o =
+             Mbac.Observation.make ~now:(float_of_int i) ~n:100 ~sum_rate:100.0
+               ~sum_sq:110.0
+           in
+           Mbac.Estimator.observe est o
+         done));
+  let macc = ref 0 in
+  report "Estimator.current (ewma)"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           match Mbac.Estimator.current est with
+           | Some e -> macc := !macc + int_of_float e.Mbac.Estimator.mu_hat
+           | None -> ()
+         done));
+
+  (* controller decision *)
+  let ctrl =
+    Mbac.Controller.with_memory ~capacity:100.0 ~p_ce:0.05 ~t_m:100.0
+  in
+  Mbac.Controller.observe ctrl obs100;
+  report "Controller.admissible"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           macc := !macc + Mbac.Controller.admissible ctrl obs100
+         done));
+
+  (* measurement recording *)
+  let meas =
+    Mbac_sim.Measurement.create ~sample_spacing:20.0 ~capacity:100.0
+      ~warmup:0.0 ~batch_length:20.0 ()
+  in
+  report "Measurement.record"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           let t0 = Float.Array.unsafe_get facc 2 in
+           Mbac_sim.Measurement.record meas ~t0 ~t1:(t0 +. 0.01) ~load:99.0;
+           Float.Array.unsafe_set facc 2 (t0 +. 0.01)
+         done));
+
+  (* welford + batch means directly *)
+  let w = Mbac_stats.Welford.Weighted.create () in
+  report "Welford.Weighted.add"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           Mbac_stats.Welford.Weighted.add w ~weight:0.01 99.0
+         done));
+  let bm = Mbac_stats.Batch_means.create ~batch_length:20.0 in
+  report "Batch_means.add"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           Mbac_stats.Batch_means.add bm ~weight:0.01 1.0
+         done));
+
+  (* telemetry handle update *)
+  let h = Mbac_telemetry.Metrics.Handle.counter "probe_counter_total" in
+  report "Metrics.Handle.inc"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           Mbac_telemetry.Metrics.Handle.inc h
+         done));
+  report "Metrics.inc (string lookup)"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           Mbac_telemetry.Metrics.inc "probe_string_total"
+         done));
+
+  ignore !macc;
+  Printf.printf "done (acc=%g)\n" (Float.Array.get facc 0)

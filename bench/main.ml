@@ -158,6 +158,103 @@ let run_micro fmt =
     (micro_tests ());
   List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
 
+(* ---------- Hot-path gate (--hotpath) ---------- *)
+
+(* Pre-refactor numbers for the zero-allocation event-loop work, measured
+   on this container at the commit preceding the hot-path PR (boxed heap
+   entries, Hashtbl flow table, string-keyed metrics, adaptive-only eqn
+   (37)), built with --profile release like the gate itself.  dune's dev
+   profile passes -opaque, which discards cross-module inlining and
+   distorts both throughput and allocation counts, so release is the only
+   profile where the before/after comparison is meaningful.  The
+   --hotpath run reports current numbers next to these so the speedup is
+   visible in BENCH.json without digging through git. *)
+let baseline_events_per_sec = 1.74e6
+let baseline_minor_words_per_event = 170.65
+let baseline_eqn37_adaptive_per_sec = 41_000.0
+
+let hotpath_sim ~max_events =
+  let cfg =
+    { (Mbac_sim.Continuous_load.default_config ~capacity:100.0
+         ~holding_time_mean:1000.0 ~target_p_q:1e-3)
+      with
+      Mbac_sim.Continuous_load.max_events;
+      warmup = 10.0;
+      batch_length = 100.0;
+      (* never trigger the stopping rule: this run must process exactly
+         max_events so events/sec and words/event are comparable *)
+      check_every_events = max_int }
+  in
+  let controller =
+    Mbac.Controller.with_memory ~capacity:100.0 ~p_ce:1e-3 ~t_m:100.0
+  in
+  let rng = Mbac_stats.Rng.create ~seed:11 in
+  Mbac_sim.Continuous_load.run rng cfg ~controller
+    ~make_source:(fun rng ~start ->
+      Mbac_traffic.Rcbr.create rng
+        (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+        ~start)
+
+type hotpath_numbers = {
+  hp_events : int;
+  hp_events_per_sec : float;
+  hp_minor_words_per_event : float;
+  hp_eqn37_adaptive_per_sec : float;
+  hp_eqn37_memoized_per_sec : float; (* nan when unavailable *)
+}
+
+let run_hotpath fmt =
+  Format.fprintf fmt "@.=== Hot-path gate ===@.";
+  let now_ns () = Int64.to_float (Monotonic_clock.now ()) in
+  ignore (hotpath_sim ~max_events:200_000) (* warm up code + allocator *);
+  let n_events = 1_000_000 in
+  let t0 = now_ns () in
+  let minor0 = Gc.minor_words () in
+  let r = hotpath_sim ~max_events:n_events in
+  let minor1 = Gc.minor_words () in
+  let t1 = now_ns () in
+  let events = r.Mbac_sim.Continuous_load.events in
+  let events_per_sec = float_of_int events /. ((t1 -. t0) /. 1e9) in
+  let words_per_event = (minor1 -. minor0) /. float_of_int events in
+  Format.fprintf fmt "  continuous-load loop:   %10.0f events/sec  (%d events)@."
+    events_per_sec events;
+  if baseline_events_per_sec > 0.0 then
+    Format.fprintf fmt "    vs pre-refactor baseline %.0f ev/s: speedup x%.2f@."
+      baseline_events_per_sec
+      (events_per_sec /. baseline_events_per_sec);
+  Format.fprintf fmt "  minor allocation:       %10.2f words/event@."
+    words_per_event;
+  (* eqn (37): many-alpha workload, the shape robustness profiles and
+     inversion sweeps present.  Same alphas for both evaluators. *)
+  let alphas = Array.init 2_000 (fun i -> 1.0 +. (float_of_int i *. 0.002)) in
+  let time_evals f =
+    let t0 = now_ns () in
+    let acc = ref 0.0 in
+    Array.iter (fun a -> acc := !acc +. f a) alphas;
+    let t1 = now_ns () in
+    ignore !acc;
+    float_of_int (Array.length alphas) /. ((t1 -. t0) /. 1e9)
+  in
+  let adaptive_per_sec =
+    time_evals (fun a -> Mbac.Memory_formula.overflow ~p:params ~t_m:10.0 ~alpha_ce:a)
+  in
+  Format.fprintf fmt "  eqn (37) adaptive:      %10.0f evals/sec@."
+    adaptive_per_sec;
+  let tab = Mbac.Memory_formula.Tabulated.create ~p:params ~t_m:10.0 () in
+  ignore (time_evals (fun a -> Mbac.Memory_formula.Tabulated.overflow tab ~alpha_ce:a));
+  let memoized_per_sec =
+    time_evals (fun a -> Mbac.Memory_formula.Tabulated.overflow tab ~alpha_ce:a)
+  in
+  Format.fprintf fmt
+    "  eqn (37) tabulated:     %10.0f evals/sec  (x%.0f; build = ~128 integrals, repaid after ~128 lookups)@."
+    memoized_per_sec
+    (memoized_per_sec /. adaptive_per_sec);
+  { hp_events = events;
+    hp_events_per_sec = events_per_sec;
+    hp_minor_words_per_event = words_per_event;
+    hp_eqn37_adaptive_per_sec = adaptive_per_sec;
+    hp_eqn37_memoized_per_sec = memoized_per_sec }
+
 (* ---------- Parallel replication engine scaling ---------- *)
 
 (* A 16-cell sweep of short continuous-load sims — the workload shape of
@@ -237,8 +334,30 @@ let run_scaling fmt =
 
 (* ---------- BENCH.json ---------- *)
 
-let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling =
+let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath =
   let open Mbac_telemetry.Json in
+  let fnan v = if Float.is_nan v then "null" else float v in
+  let hotpath_json =
+    match hotpath with
+    | None -> "null"
+    | Some h ->
+        obj
+          [ ("events", int h.hp_events);
+            ("events_per_sec", fnan h.hp_events_per_sec);
+            ("minor_words_per_event", fnan h.hp_minor_words_per_event);
+            ("eqn37_adaptive_per_sec", fnan h.hp_eqn37_adaptive_per_sec);
+            ("eqn37_memoized_per_sec", fnan h.hp_eqn37_memoized_per_sec);
+            ("baseline",
+             obj
+               [ ("events_per_sec", fnan baseline_events_per_sec);
+                 ("minor_words_per_event", fnan baseline_minor_words_per_event);
+                 ("eqn37_adaptive_per_sec", fnan baseline_eqn37_adaptive_per_sec)
+               ]);
+            ("speedup_vs_baseline",
+             if baseline_events_per_sec > 0.0 then
+               fnan (h.hp_events_per_sec /. baseline_events_per_sec)
+             else "null") ]
+  in
   let micro_json =
     arr
       (List.map
@@ -261,7 +380,8 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling =
         ("reproduction_ns",
          match repro_ns with Some ns -> float ns | None -> "null");
         ("micro", micro_json);
-        ("scaling", scaling_json) ]
+        ("scaling", scaling_json);
+        ("hotpath", hotpath_json) ]
   in
   let oc = open_out path in
   output_string oc doc;
@@ -273,6 +393,7 @@ let () =
   let full = Array.exists (fun a -> a = "--full") argv in
   let skip_micro = Array.exists (fun a -> a = "--no-micro") argv in
   let scaling_only = Array.exists (fun a -> a = "--scaling") argv in
+  let hotpath_only = Array.exists (fun a -> a = "--hotpath") argv in
   let arg_value name =
     let v = ref None in
     Array.iteri
@@ -308,15 +429,17 @@ let () =
   let now () = Int64.to_float (Monotonic_clock.now ()) in
   let repro_ns = ref None in
   let micro = ref [] in
-  if not scaling_only then begin
+  let hotpath = ref None in
+  if hotpath_only then hotpath := Some (run_hotpath fmt)
+  else if not scaling_only then begin
     let t0 = now () in
     run_reproduction ~profile fmt;
     repro_ns := Some (now () -. t0);
     if not skip_micro then micro := run_micro fmt
   end;
-  let scaling = run_scaling fmt in
+  let scaling = if hotpath_only then [] else run_scaling fmt in
   write_bench_json ~path:json_path ~profile ~repro_ns:!repro_ns ~micro:!micro
-    ~scaling;
+    ~scaling ~hotpath:!hotpath;
   Format.fprintf fmt "@.bench: wrote %s@." json_path;
   (match metrics_out with
   | Some path ->

@@ -139,7 +139,7 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
           reps p_f_mean p_f_hw util_mean util_hw
       end;
       Format.printf "theory (eqn 37 at this T_m): %.4g@."
-        (Mbac.Memory_formula.overflow ~p ~t_m
+        (Mbac.Memory_formula.overflow_cached ~p ~t_m
            ~alpha_ce:(Mbac.Params.alpha_q p));
       Mbac_telemetry_cli.Flags.finish tele;
       Ok ()

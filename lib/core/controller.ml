@@ -18,16 +18,20 @@ let nop (_ : Observation.t) = ()
 
 (* Every scheme is built through [make], so wrapping [admissible] here
    gives uniform decision telemetry for all of them: counters are always
-   on (cheap), the per-decision trace event only renders when tracing is
-   enabled.  m̂/σ̂ are the cross-sectional (eqn (23)) estimates — the
-   only measured quantities every controller shares. *)
+   on (cheap — pre-resolved handles, no string hashing per decision),
+   the per-decision trace event only renders when tracing is enabled.
+   m̂/σ̂ are the cross-sectional (eqn (23)) estimates — the only
+   measured quantities every controller shares. *)
+let m_decisions = Mbac_telemetry.Metrics.Handle.counter "mbac_decisions_total"
+let m_admit = Mbac_telemetry.Metrics.Handle.counter "mbac_admit_total"
+let m_reject = Mbac_telemetry.Metrics.Handle.counter "mbac_reject_total"
+
 let instrument ~name admissible obs =
   let m = admissible obs in
-  let n = obs.Observation.n in
+  let n = Observation.count obs in
   let admit = n < m in
-  Mbac_telemetry.Metrics.inc "mbac_decisions_total";
-  Mbac_telemetry.Metrics.inc
-    (if admit then "mbac_admit_total" else "mbac_reject_total");
+  Mbac_telemetry.Metrics.Handle.inc m_decisions;
+  Mbac_telemetry.Metrics.Handle.inc (if admit then m_admit else m_reject);
   if Mbac_telemetry.Trace.enabled () then
     Mbac_telemetry.Trace.emit ~sampled:true ~t:obs.Observation.now
       ~kind:"decision"
@@ -63,7 +67,7 @@ let certainty_equivalent ~capacity ~p_ce estimator =
     | Some _ | None ->
         (* Cautious bootstrap: admit one flow at a time until the
            estimator produces a usable estimate. *)
-        obs.Observation.n + 1
+        Observation.count obs + 1
   in
   make
     ~name:(Printf.sprintf "ce[%s,p_ce=%.2g]" (Estimator.name estimator) p_ce)
@@ -91,7 +95,7 @@ let robust p =
     | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
         Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat)
           ~alpha:alpha_ce
-    | Some _ | None -> obs.Observation.n + 1
+    | Some _ | None -> Observation.count obs + 1
   in
   make
     ~name:(Printf.sprintf "robust[T_m=%.3g,alpha_ce=%.3g]" t_m alpha_ce)
@@ -152,11 +156,11 @@ let measured_sum ~capacity ~utilization_target ~window ~peak =
   in
   let admissible obs =
     let max_load = Windowed_max.current wm in
-    if max_load = neg_infinity then obs.Observation.n + 1
+    if max_load = neg_infinity then Observation.count obs + 1
     else begin
       let headroom = (utilization_target *. capacity) -. max_load in
-      if headroom < peak then obs.Observation.n
-      else obs.Observation.n + int_of_float (headroom /. peak)
+      if headroom < peak then Observation.count obs
+      else Observation.count obs + int_of_float (headroom /. peak)
     end
   in
   make
@@ -175,7 +179,7 @@ let hoeffding ~capacity ~p_ce ~peak estimator =
     match Estimator.current estimator with
     | Some { Estimator.mu_hat; _ } when mu_hat > 0.0 ->
         Criterion.admissible ~capacity ~mu:mu_hat ~sigma:bound ~alpha:1.0
-    | Some _ | None -> obs.Observation.n + 1
+    | Some _ | None -> Observation.count obs + 1
   in
   make
     ~name:(Printf.sprintf "hoeffding[p=%.2g]" p_ce)
@@ -191,7 +195,7 @@ let chernoff ~capacity ~p_ce estimator =
     match Estimator.current estimator with
     | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
         Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat) ~alpha
-    | Some _ | None -> obs.Observation.n + 1
+    | Some _ | None -> Observation.count obs + 1
   in
   make
     ~name:(Printf.sprintf "chernoff[p=%.2g]" p_ce)
@@ -211,7 +215,7 @@ let gkk ~capacity ~p_ce ~prior_mu ~prior_var ~prior_weight =
      the admission rate when the system hovers at the boundary. *)
   let blocked = ref false in
   let admissible obs =
-    if !blocked then obs.Observation.n
+    if !blocked then Observation.count obs
     else begin
       let m =
         match Estimator.current estimator with
@@ -222,11 +226,11 @@ let gkk ~capacity ~p_ce ~prior_mu ~prior_var ~prior_weight =
             let var =
               (prior_weight *. prior_var) +. ((1.0 -. prior_weight) *. var_hat)
             in
-            if mu <= 0.0 then obs.Observation.n + 1
+            if mu <= 0.0 then Observation.count obs + 1
             else Criterion.admissible ~capacity ~mu ~sigma:(sqrt var) ~alpha
-        | None -> obs.Observation.n + 1
+        | None -> Observation.count obs + 1
       in
-      if m <= obs.Observation.n then blocked := true;
+      if m <= Observation.count obs then blocked := true;
       m
     end
   in

@@ -1,4 +1,6 @@
-let admissible_real ~capacity ~mu ~sigma ~alpha =
+(* Inlined: one call per admission decision (per simulation event); the
+   four float arguments would otherwise box at the call boundary. *)
+let[@inline] admissible_real ~capacity ~mu ~sigma ~alpha =
   if mu <= 0.0 then invalid_arg "Criterion.admissible_real: requires mu > 0";
   if sigma < 0.0 then invalid_arg "Criterion.admissible_real: requires sigma >= 0";
   if capacity <= 0.0 then 0.0
@@ -10,7 +12,7 @@ let admissible_real ~capacity ~mu ~sigma ~alpha =
     if root <= 0.0 then 0.0 else root *. root
   end
 
-let admissible ~capacity ~mu ~sigma ~alpha =
+let[@inline] admissible ~capacity ~mu ~sigma ~alpha =
   let m = admissible_real ~capacity ~mu ~sigma ~alpha in
   if m <= 0.0 then 0 else int_of_float m
 

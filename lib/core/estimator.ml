@@ -1,4 +1,4 @@
-type estimate = { mu_hat : float; var_hat : float }
+type estimate = { mutable mu_hat : float; mutable var_hat : float }
 
 type t = {
   name : string;
@@ -12,26 +12,37 @@ let observe t obs = t.observe obs
 let current t = t.current ()
 let reset t = t.reset ()
 
+(* Each estimator returns the same physical [Some estimate] from
+   [current], refreshed in place — a decision per simulation event must
+   not allocate.  Callers read the fields immediately (all do); the
+   values are valid until the next [observe]/[current] on the same
+   estimator. *)
+let cache () =
+  let est = { mu_hat = 0.0; var_hat = 0.0 } in
+  (est, Some est)
+
 let memoryless () =
-  let last = ref None in
+  (* The latest cross-section, reduced at observe time to the two
+     numbers [current] needs, stored unboxed. *)
+  let est, some_est = cache () in
+  let have = ref false in
   {
     name = "memoryless";
     observe =
-      (fun obs -> if obs.Observation.n >= 1 then last := Some obs);
-    current =
-      (fun () ->
-        Option.map
-          (fun obs ->
-            { mu_hat = Observation.cross_mean obs;
-              var_hat = Observation.cross_variance obs })
-          !last);
-    reset = (fun () -> last := None);
+      (fun obs ->
+        if obs.Observation.n >= 1.0 then begin
+          est.mu_hat <- Observation.cross_mean obs;
+          est.var_hat <- Observation.cross_variance obs;
+          have := true
+        end);
+    current = (fun () -> if !have then some_est else None);
+    reset = (fun () -> have := false);
   }
 
 (* Exact advance of the first-order filter over a piecewise-constant input:
-   while the input holds value [x], est(t + dt) = x + (est(t) - x) e^{-dt/Tm}. *)
+   while the input holds value [x], est(t + dt) = x + (est(t) - x) e^{-dt/Tm}.
+   All-float record: the per-event stores stay unboxed. *)
 type ewma_state = {
-  mutable initialized : bool;
   mutable last_time : float;
   mutable in_mu : float;  (* input signal value held since last_time *)
   mutable in_var : float;
@@ -44,15 +55,17 @@ let ewma ~t_m =
   if t_m = 0.0 then { (memoryless ()) with name = "ewma(0)" }
   else begin
     let s =
-      { initialized = false; last_time = 0.0; in_mu = 0.0; in_var = 0.0;
-        est_mu = 0.0; est_var = 0.0 }
+      { last_time = 0.0; in_mu = 0.0; in_var = 0.0; est_mu = 0.0;
+        est_var = 0.0 }
     in
+    let initialized = ref false in
+    let est, some_est = cache () in
     let observe obs =
-      if obs.Observation.n >= 1 then begin
+      if obs.Observation.n >= 1.0 then begin
         let x = Observation.cross_mean obs in
         let v = Observation.cross_variance obs in
-        if not s.initialized then begin
-          s.initialized <- true;
+        if not !initialized then begin
+          initialized := true;
           s.est_mu <- x;
           s.est_var <- v
         end
@@ -70,99 +83,145 @@ let ewma ~t_m =
       end
     in
     let current () =
-      if s.initialized then
-        Some { mu_hat = s.est_mu; var_hat = Float.max 0.0 s.est_var }
+      if !initialized then begin
+        est.mu_hat <- s.est_mu;
+        est.var_hat <- Float.max 0.0 s.est_var;
+        some_est
+      end
       else None
     in
-    let reset () = s.initialized <- false in
+    let reset () = initialized := false in
     { name = Printf.sprintf "ewma(T_m=%g)" t_m; observe; current; reset }
   end
 
-(* Sliding time window: a FIFO of constant-signal segments plus running
-   integrals; old segments are evicted (with partial trimming) as the
-   window slides. *)
-type segment = { t0 : float; t1 : float; x : float; v : float }
-
+(* Sliding time window: a ring buffer of constant-signal segments plus
+   running integrals; old segments are evicted as the window slides.
+   Partial trimming mutates the head segment's start in place, so each
+   observe is O(1) amortized (every segment is pushed once, fully
+   evicted at most once, and only the head is ever trimmed).  Segments
+   are stored as a structure of unboxed float arrays. *)
 type window_state = {
   mutable have_input : bool;
+  mutable head : int;          (* ring index of the oldest segment *)
+  mutable len : int;
+  mutable t0s : Float.Array.t; (* rings, capacity = length t0s *)
+  mutable t1s : Float.Array.t;
+  mutable xs : Float.Array.t;
+  mutable vs : Float.Array.t;
+  sums : window_sums;
+}
+
+and window_sums = {
   mutable last_time : float;
   mutable in_mu : float;
   mutable in_var : float;
-  segs : segment Queue.t;
   mutable int_mu : float;  (* integral of x over the stored segments *)
   mutable int_var : float;
   mutable covered : float; (* total stored duration *)
 }
 
+let window_grow s =
+  let cap = Float.Array.length s.t0s in
+  let ncap = if cap = 0 then 64 else 2 * cap in
+  let copy src =
+    let dst = Float.Array.create ncap in
+    for k = 0 to s.len - 1 do
+      Float.Array.unsafe_set dst k
+        (Float.Array.unsafe_get src ((s.head + k) mod cap))
+    done;
+    dst
+  in
+  s.t0s <- copy s.t0s;
+  s.t1s <- copy s.t1s;
+  s.xs <- copy s.xs;
+  s.vs <- copy s.vs;
+  s.head <- 0
+
 let sliding_window ~t_w =
   if t_w <= 0.0 then invalid_arg "Estimator.sliding_window: requires t_w > 0";
   let s =
-    { have_input = false; last_time = 0.0; in_mu = 0.0; in_var = 0.0;
-      segs = Queue.create (); int_mu = 0.0; int_var = 0.0; covered = 0.0 }
+    { have_input = false; head = 0; len = 0;
+      t0s = Float.Array.create 0; t1s = Float.Array.create 0;
+      xs = Float.Array.create 0; vs = Float.Array.create 0;
+      sums =
+        { last_time = 0.0; in_mu = 0.0; in_var = 0.0;
+          int_mu = 0.0; int_var = 0.0; covered = 0.0 } }
   in
   let evict ~now =
     let cutoff = now -. t_w in
     let continue = ref true in
-    while !continue && not (Queue.is_empty s.segs) do
-      let seg = Queue.peek s.segs in
-      if seg.t1 <= cutoff then begin
-        ignore (Queue.pop s.segs);
-        let d = seg.t1 -. seg.t0 in
-        s.int_mu <- s.int_mu -. (d *. seg.x);
-        s.int_var <- s.int_var -. (d *. seg.v);
-        s.covered <- s.covered -. d
+    while !continue && s.len > 0 do
+      let cap = Float.Array.length s.t0s in
+      let h = s.head in
+      let t0 = Float.Array.unsafe_get s.t0s h in
+      let t1 = Float.Array.unsafe_get s.t1s h in
+      if t1 <= cutoff then begin
+        let d = t1 -. t0 in
+        s.sums.int_mu <- s.sums.int_mu -. (d *. Float.Array.unsafe_get s.xs h);
+        s.sums.int_var <- s.sums.int_var -. (d *. Float.Array.unsafe_get s.vs h);
+        s.sums.covered <- s.sums.covered -. d;
+        s.head <- (h + 1) mod cap;
+        s.len <- s.len - 1
       end
-      else if seg.t0 < cutoff then begin
-        (* trim the head segment to start at the cutoff *)
-        ignore (Queue.pop s.segs);
-        let trimmed = cutoff -. seg.t0 in
-        s.int_mu <- s.int_mu -. (trimmed *. seg.x);
-        s.int_var <- s.int_var -. (trimmed *. seg.v);
-        s.covered <- s.covered -. trimmed;
-        (* push back the rest at the queue front: rebuild the queue *)
-        let rest = { seg with t0 = cutoff } in
-        let tmp = Queue.create () in
-        Queue.push rest tmp;
-        Queue.transfer s.segs tmp;
-        Queue.transfer tmp s.segs;
+      else if t0 < cutoff then begin
+        (* trim the head segment in place to start at the cutoff *)
+        let trimmed = cutoff -. t0 in
+        s.sums.int_mu <-
+          s.sums.int_mu -. (trimmed *. Float.Array.unsafe_get s.xs h);
+        s.sums.int_var <-
+          s.sums.int_var -. (trimmed *. Float.Array.unsafe_get s.vs h);
+        s.sums.covered <- s.sums.covered -. trimmed;
+        Float.Array.unsafe_set s.t0s h cutoff;
         continue := false
       end
       else continue := false
     done
   in
+  let est, some_est = cache () in
   let observe obs =
-    if obs.Observation.n >= 1 then begin
+    if obs.Observation.n >= 1.0 then begin
       let now = obs.Observation.now in
-      if s.have_input && now > s.last_time then begin
-        let seg = { t0 = s.last_time; t1 = now; x = s.in_mu; v = s.in_var } in
-        Queue.push seg s.segs;
-        let d = now -. s.last_time in
-        s.int_mu <- s.int_mu +. (d *. seg.x);
-        s.int_var <- s.int_var +. (d *. seg.v);
-        s.covered <- s.covered +. d
+      if s.have_input && now > s.sums.last_time then begin
+        if s.len = Float.Array.length s.t0s then window_grow s;
+        let cap = Float.Array.length s.t0s in
+        let tail = (s.head + s.len) mod cap in
+        Float.Array.unsafe_set s.t0s tail s.sums.last_time;
+        Float.Array.unsafe_set s.t1s tail now;
+        Float.Array.unsafe_set s.xs tail s.sums.in_mu;
+        Float.Array.unsafe_set s.vs tail s.sums.in_var;
+        s.len <- s.len + 1;
+        let d = now -. s.sums.last_time in
+        s.sums.int_mu <- s.sums.int_mu +. (d *. s.sums.in_mu);
+        s.sums.int_var <- s.sums.int_var +. (d *. s.sums.in_var);
+        s.sums.covered <- s.sums.covered +. d
       end;
       evict ~now;
       s.have_input <- true;
-      s.last_time <- now;
-      s.in_mu <- Observation.cross_mean obs;
-      s.in_var <- Observation.cross_variance obs
+      s.sums.last_time <- now;
+      s.sums.in_mu <- Observation.cross_mean obs;
+      s.sums.in_var <- Observation.cross_variance obs
     end
   in
   let current () =
     if not s.have_input then None
-    else if s.covered <= 0.0 then
-      Some { mu_hat = s.in_mu; var_hat = Float.max 0.0 s.in_var }
-    else
-      Some
-        { mu_hat = s.int_mu /. s.covered;
-          var_hat = Float.max 0.0 (s.int_var /. s.covered) }
+    else if s.sums.covered <= 0.0 then begin
+      est.mu_hat <- s.sums.in_mu;
+      est.var_hat <- Float.max 0.0 s.sums.in_var;
+      some_est
+    end
+    else begin
+      est.mu_hat <- s.sums.int_mu /. s.sums.covered;
+      est.var_hat <- Float.max 0.0 (s.sums.int_var /. s.sums.covered);
+      some_est
+    end
   in
   let reset () =
     s.have_input <- false;
-    Queue.clear s.segs;
-    s.int_mu <- 0.0;
-    s.int_var <- 0.0;
-    s.covered <- 0.0
+    s.head <- 0;
+    s.len <- 0;
+    s.sums.int_mu <- 0.0;
+    s.sums.int_var <- 0.0;
+    s.sums.covered <- 0.0
   in
   { name = Printf.sprintf "window(T_w=%g)" t_w; observe; current; reset }
 
@@ -172,22 +231,23 @@ let sliding_window ~t_w =
    fluctuation of the per-flow average x = S/n, since for n independent
    homogeneous flows Var_time(x) = sigma^2 / n. *)
 type aggregate_state = {
-  mutable init : bool;
   mutable t_last : float;
   mutable in_x : float;
   mutable m1 : float; (* filtered x *)
   mutable m2 : float; (* filtered x^2 *)
-  mutable last_n : int;
+  mutable last_n : float;
 }
 
 let aggregate_only ~t_m =
   if t_m <= 0.0 then invalid_arg "Estimator.aggregate_only: requires t_m > 0";
-  let s = { init = false; t_last = 0.0; in_x = 0.0; m1 = 0.0; m2 = 0.0; last_n = 0 } in
+  let s = { t_last = 0.0; in_x = 0.0; m1 = 0.0; m2 = 0.0; last_n = 0.0 } in
+  let init = ref false in
+  let est, some_est = cache () in
   let observe obs =
-    if obs.Observation.n >= 1 then begin
+    if obs.Observation.n >= 1.0 then begin
       let x = Observation.cross_mean obs in
-      if not s.init then begin
-        s.init <- true;
+      if not !init then begin
+        init := true;
         s.m1 <- x;
         s.m2 <- x *. x
       end
@@ -205,12 +265,13 @@ let aggregate_only ~t_m =
     end
   in
   let current () =
-    if not s.init then None
-    else
+    if not !init then None
+    else begin
       let var_of_x = Float.max 0.0 (s.m2 -. (s.m1 *. s.m1)) in
-      Some
-        { mu_hat = s.m1;
-          var_hat = float_of_int s.last_n *. var_of_x }
+      est.mu_hat <- s.m1;
+      est.var_hat <- s.last_n *. var_of_x;
+      some_est
+    end
   in
-  let reset () = s.init <- false in
+  let reset () = init := false in
   { name = Printf.sprintf "aggregate(T_m=%g)" t_m; observe; current; reset }

@@ -6,9 +6,14 @@
     estimator into the certainty-equivalent admission criterion. *)
 
 type estimate = {
-  mu_hat : float;   (** estimated per-flow mean bandwidth *)
-  var_hat : float;  (** estimated per-flow bandwidth variance (>= 0) *)
+  mutable mu_hat : float;   (** estimated per-flow mean bandwidth *)
+  mutable var_hat : float;  (** estimated per-flow bandwidth variance (>= 0) *)
 }
+(** The fields are mutable because {!current} refreshes and returns one
+    cached record per estimator rather than allocating (admission
+    decisions sit on the simulator's per-event path).  Read the fields
+    immediately: they are valid until the next [observe] or [current]
+    call on the same estimator. *)
 
 type t
 
@@ -16,7 +21,8 @@ val name : t -> string
 val observe : t -> Observation.t -> unit
 val current : t -> estimate option
 (** [None] until enough data has been seen (e.g. no observation yet, or
-    fewer than 2 flows ever observed). *)
+    fewer than 2 flows ever observed).  The returned record is reused
+    across calls; see {!type:estimate}. *)
 
 val reset : t -> unit
 

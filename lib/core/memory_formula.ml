@@ -32,9 +32,17 @@ let overflow ~p ~t_m ~alpha_ce =
     end
   in
   let hitting =
+    (* abs_tol 0: p_f spans hundreds of decades, and the default
+       absolute floor would stop the refinement long before the
+       requested relative accuracy at small probabilities.  The t = u^2
+       substitution flattens the t^{-1/2} boundary layer the integrand
+       develops near t = 0 when sigma_m^2(0) = T_m/(T_c+T_m) is small
+       (memoryless or T_m << T_c), which otherwise defeats the
+       quadrature's error estimate at small alpha. *)
     Mbac_telemetry.Profile.span "memory_formula.overflow" (fun () ->
         prefactor
-        *. Mbac_numerics.Integrate.semi_infinite ~rel_tol:1e-9 integrand
+        *. Mbac_numerics.Integrate.semi_infinite ~rel_tol:1e-9 ~abs_tol:0.0
+             (fun u -> 2.0 *. u *. integrand (u *. u))
              ~lo:0.0)
   in
   hitting +. residual_term ~t_c ~t_m ~alpha_ce
@@ -63,3 +71,93 @@ let overflow_memoryless_in_flow_params ~p ~alpha_ce =
   *. Mbac_stats.Gaussian.q (alpha_ce /. sqrt 2.0)
 
 let estimator_error_variance ~t_c ~t_m = t_c /. (t_c +. t_m)
+
+(* ---------- Memoized evaluation of eqn (37) ---------- *)
+
+(* [overflow] reads its parameters only through T_c and gamma, so
+   (t_c, gamma, t_m, alpha_ce) keys the exact value.  The cache is
+   domain-local: the parallel replication engine runs analysis closures
+   on worker domains, and a shared Hashtbl would race. *)
+let cache_key ~p ~t_m ~alpha_ce =
+  (p.Params.t_c, Params.gamma p, t_m, alpha_ce)
+
+let cache_max_entries = 4096
+
+let point_cache : (float * float * float * float, float) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let overflow_cached ~p ~t_m ~alpha_ce =
+  let tbl = Domain.DLS.get point_cache in
+  let key = cache_key ~p ~t_m ~alpha_ce in
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = overflow ~p ~t_m ~alpha_ce in
+      (* Sweeps revisit a bounded grid; a runaway keyspace means the
+         caller is scanning, not sweeping, so start over rather than
+         grow without bound. *)
+      if Hashtbl.length tbl >= cache_max_entries then Hashtbl.reset tbl;
+      Hashtbl.add tbl key v;
+      v
+
+module Tabulated = struct
+  type t = {
+    p : Params.t;
+    t_m : float;
+    alpha_hi : float; (* upper edge of the fitted domain *)
+    table : Mbac_numerics.Cheb.t; (* interpolates log p_f in alpha *)
+  }
+
+  let alpha_max = 37.0 (* Q(37) is at the edge of the IEEE double range *)
+
+  (* p_f is analytic in alpha only away from 0: in the memoryless /
+     T_m << T_c corner the integrand's t^{-1/2} boundary layer gives
+     p_f an alpha -> 0 cusp that no polynomial degree resolves.  Every
+     controller quantile of interest satisfies alpha >= 0.5 (alpha = 0.5
+     already means p = Q(0.5) = 0.31); below the fitted edge the
+     evaluator falls back to the exact integral. *)
+  let alpha_min = 0.5
+
+  (* Only fit where p_f is comfortably above the IEEE underflow range:
+     clamping underflowed node values would put a kink in log p_f and
+     destroy the interpolant's geometric convergence everywhere. *)
+  let underflow_guard = 1e-280
+
+  let create ?(nodes = 128) ~p ~t_m () =
+    if t_m < 0.0 then
+      invalid_arg "Memory_formula.Tabulated.create: requires t_m >= 0";
+    let pf alpha_ce = overflow ~p ~t_m ~alpha_ce in
+    (* p_f is monotone decreasing in alpha; bisect for the edge beyond
+       which it leaves the representable range.  A handful of extra
+       integrals at build time, none at evaluation time. *)
+    let alpha_hi =
+      if pf alpha_max >= underflow_guard then alpha_max
+      else if pf (2.0 *. alpha_min) < underflow_guard then 2.0 *. alpha_min
+        (* degenerate parameters *)
+      else begin
+        let lo = ref (2.0 *. alpha_min) and hi = ref alpha_max in
+        while !hi -. !lo > 1e-3 do
+          let mid = 0.5 *. (!lo +. !hi) in
+          if pf mid >= underflow_guard then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    in
+    (* p_f spans hundreds of decades even inside the fitted domain, so
+       the table interpolates log p_f — smooth and slowly varying — and
+       exponentiates on evaluation, which is what makes a *relative*
+       accuracy guarantee attainable. *)
+    let table =
+      Mbac_numerics.Cheb.fit ~lo:alpha_min ~hi:alpha_hi ~nodes (fun alpha_ce ->
+          log (Float.max Float.min_float (pf alpha_ce)))
+    in
+    { p; t_m; alpha_hi; table }
+
+  let exact t ~alpha_ce = overflow ~p:t.p ~t_m:t.t_m ~alpha_ce
+
+  let overflow t ~alpha_ce =
+    if alpha_ce >= alpha_min && alpha_ce <= t.alpha_hi then
+      exp (Mbac_numerics.Cheb.eval t.table alpha_ce)
+    else exact t ~alpha_ce (* outside the fitted domain: fall back *)
+end

@@ -5,13 +5,18 @@
 
 type t = {
   now : float;      (** current time *)
-  n : int;          (** number of flows currently in the system *)
+  n : float;        (** number of flows currently in the system (always an
+                        exact integer; stored as a float so the record has
+                        a flat unboxed layout — see [count]) *)
   sum_rate : float; (** aggregate bandwidth, sum of per-flow rates *)
   sum_sq : float;   (** sum of squared per-flow rates *)
 }
 
 val make : now:float -> n:int -> sum_rate:float -> sum_sq:float -> t
 (** @raise Invalid_argument on negative [n] or inconsistent sums. *)
+
+val count : t -> int
+(** [n] as the int it always is. *)
 
 val cross_mean : t -> float
 (** The memoryless mean estimate mu_hat(t) = sum_rate / n (eqn (23));

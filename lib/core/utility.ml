@@ -1,6 +1,8 @@
 type t = Step | Linear | Power of float | Threshold of float
 
-let eval u f =
+(* Evaluated once per event segment past warm-up; inlined so the float
+   argument and result stay unboxed. *)
+let[@inline] eval u f =
   let f = Float.max 0.0 (Float.min 1.0 f) in
   match u with
   | Step -> if f >= 1.0 then 1.0 else 0.0
@@ -14,7 +16,7 @@ let eval u f =
       else if f >= thr then 1.0
       else f /. thr
 
-let delivered_fraction ~capacity ~load =
+let[@inline] delivered_fraction ~capacity ~load =
   if load <= 0.0 then 1.0 else Float.min 1.0 (capacity /. load)
 
 let name = function

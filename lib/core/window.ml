@@ -6,7 +6,12 @@ let robustness_profile p ~t_m ~t_cs =
       let p' = Params.make ~n:p.Params.n ~mu:p.Params.mu ~sigma:p.Params.sigma
           ~t_h:p.Params.t_h ~t_c ~p_q:p.Params.p_q
       in
-      let pf = Memory_formula.overflow ~p:p' ~t_m ~alpha_ce:(Params.alpha_q p') in
+      (* Cached exact values: [is_robust] / [worst_case_overflow] /
+         direct profile calls over the same grid share the integrals. *)
+      let pf =
+        Memory_formula.overflow_cached ~p:p' ~t_m
+          ~alpha_ce:(Params.alpha_q p')
+      in
       (t_c, pf))
     t_cs
 

@@ -76,7 +76,7 @@ let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
         | Some { Mbac.Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
             Mbac.Criterion.admissible ~capacity ~mu:mu_hat
               ~sigma:(sqrt var_hat) ~alpha:alpha_ce
-        | Some _ | None -> obs.Mbac.Observation.n + 1)
+        | Some _ | None -> Mbac.Observation.count obs + 1)
       ~reset:(fun () -> Mbac.Estimator.reset estimator)
       ()
   in

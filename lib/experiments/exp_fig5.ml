@@ -31,7 +31,7 @@ let compute ~profile =
       in
       { t_m;
         theory_38 = Mbac.Memory_formula.overflow_closed_form ~p ~t_m ~alpha_ce:alpha;
-        theory_37 = Mbac.Memory_formula.overflow ~p ~t_m ~alpha_ce:alpha;
+        theory_37 = Mbac.Memory_formula.overflow_cached ~p ~t_m ~alpha_ce:alpha;
         sim = r.Mbac_sim.Continuous_load.p_f;
         sim_point = r.Mbac_sim.Continuous_load.p_f_point;
         sim_kind = r.Mbac_sim.Continuous_load.estimate_kind;

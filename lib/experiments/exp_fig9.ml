@@ -24,8 +24,8 @@ let compute () =
            Array.of_list
              (List.map
                 (fun ratio ->
-                  Mbac.Memory_formula.overflow ~p ~t_m:(ratio *. t_h_tilde)
-                    ~alpha_ce:alpha)
+                  Mbac.Memory_formula.overflow_cached ~p
+                    ~t_m:(ratio *. t_h_tilde) ~alpha_ce:alpha)
                 ratios))
          t_cs)
   in

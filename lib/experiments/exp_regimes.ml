@@ -18,7 +18,8 @@ let compute () =
       let p = mk t_c in
       let t_m = Mbac.Window.recommended_t_m p in
       let general =
-        Mbac.Memory_formula.overflow ~p ~t_m ~alpha_ce:(Mbac.Params.alpha_q p)
+        Mbac.Memory_formula.overflow_cached ~p ~t_m
+          ~alpha_ce:(Mbac.Params.alpha_q p)
       in
       { t_c;
         general;

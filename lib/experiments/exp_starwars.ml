@@ -61,7 +61,7 @@ let compute ~profile ~memoryless =
             | Some { Mbac.Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
                 Mbac.Criterion.admissible ~capacity ~mu:mu_hat
                   ~sigma:(sqrt var_hat) ~alpha
-            | Some _ | None -> obs.Mbac.Observation.n + 1)
+            | Some _ | None -> Mbac.Observation.count obs + 1)
           ~reset:(fun () -> Mbac.Estimator.reset estimator)
           ()
       in

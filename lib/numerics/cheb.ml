@@ -1,0 +1,54 @@
+type t = { lo : float; hi : float; coeffs : float array }
+
+let fit ~lo ~hi ~nodes f =
+  if not (Float.is_finite lo && Float.is_finite hi && lo < hi) then
+    invalid_arg "Cheb.fit: requires finite lo < hi";
+  if nodes < 2 then invalid_arg "Cheb.fit: requires nodes >= 2";
+  let n = nodes in
+  let pi = 4.0 *. atan 1.0 in
+  let mid = 0.5 *. (hi +. lo) and half = 0.5 *. (hi -. lo) in
+  (* Chebyshev–Gauss points of the first kind, mapped onto [lo, hi]. *)
+  let fx =
+    Array.init n (fun k ->
+        let theta = pi *. (float_of_int k +. 0.5) /. float_of_int n in
+        let y = f (mid +. (half *. cos theta)) in
+        if Float.is_nan y then invalid_arg "Cheb.fit: function returned NaN";
+        y)
+  in
+  (* Discrete cosine transform; O(n^2) is fine at the table sizes used
+     here (n <= a few hundred). *)
+  let coeffs =
+    Array.init n (fun j ->
+        let s = ref 0.0 in
+        for k = 0 to n - 1 do
+          s :=
+            !s
+            +. fx.(k)
+               *. cos
+                    (pi *. float_of_int j
+                    *. (float_of_int k +. 0.5)
+                    /. float_of_int n)
+        done;
+        2.0 *. !s /. float_of_int n)
+  in
+  { lo; hi; coeffs }
+
+let lo t = t.lo
+let hi t = t.hi
+let nodes t = Array.length t.coeffs
+
+let eval t x =
+  (* Clenshaw recurrence.  Well-defined for any finite x, but the
+     approximation is only accurate on [lo, hi]; callers wanting a hard
+     domain guarantee should check against [lo]/[hi] themselves. *)
+  let c = t.coeffs in
+  let n = Array.length c in
+  let u = (2.0 *. (x -. t.lo) /. (t.hi -. t.lo)) -. 1.0 in
+  let u2 = 2.0 *. u in
+  let b1 = ref 0.0 and b2 = ref 0.0 in
+  for j = n - 1 downto 1 do
+    let b = (u2 *. !b1) -. !b2 +. Array.unsafe_get c j in
+    b2 := !b1;
+    b1 := b
+  done;
+  (u *. !b1) -. !b2 +. (0.5 *. c.(0))

@@ -1,0 +1,28 @@
+(** Chebyshev polynomial interpolation on an interval — the memoization
+    backend for expensive smooth curves (notably the eqn (37) overflow
+    integral tabulated in alpha).
+
+    For a function analytic on [lo, hi] the approximation error decays
+    geometrically in the node count, so a few dozen samples of an
+    expensive integral buy near-machine-precision evaluation at
+    polynomial cost. *)
+
+type t
+
+val fit : lo:float -> hi:float -> nodes:int -> (float -> float) -> t
+(** Sample [f] at the [nodes] Chebyshev–Gauss points of [lo, hi] and
+    compute the interpolant's coefficients.
+    @raise Invalid_argument if [lo >= hi], [nodes < 2], or [f] returns
+    NaN at a node. *)
+
+val eval : t -> float -> float
+(** Evaluate via the Clenshaw recurrence.  Accurate on [[lo, hi]];
+    outside the fitted interval the polynomial diverges quickly, so
+    callers needing a domain guarantee must check the bounds
+    themselves. *)
+
+val lo : t -> float
+
+val hi : t -> float
+
+val nodes : t -> int

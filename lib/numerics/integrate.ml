@@ -72,13 +72,13 @@ let gauss_legendre ~n f ~lo ~hi =
   done;
   half *. !acc
 
-let semi_infinite ?(rel_tol = 1e-10) ?(segment = 1.0) ?(max_segments = 200) f
-    ~lo =
+let semi_infinite ?(rel_tol = 1e-10) ?(abs_tol = 1e-14) ?(segment = 1.0)
+    ?(max_segments = 200) f ~lo =
   let rec sum a width total k =
     if k >= max_segments then total
     else begin
       let b = a +. width in
-      let panel = adaptive_simpson ~rel_tol f ~lo:a ~hi:b in
+      let panel = adaptive_simpson ~rel_tol ~abs_tol f ~lo:a ~hi:b in
       let total' = total +. panel in
       (* Stop once a panel is negligible relative to the accumulated value
          (guard against an identically-zero head with the k > 4 check). *)

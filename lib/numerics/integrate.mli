@@ -13,10 +13,17 @@ val gauss_legendre : n:int -> (float -> float) -> lo:float -> hi:float -> float
     by Newton iteration on Legendre polynomials ([n >= 1]). *)
 
 val semi_infinite :
-  ?rel_tol:float -> ?segment:float -> ?max_segments:int ->
+  ?rel_tol:float -> ?abs_tol:float -> ?segment:float -> ?max_segments:int ->
   (float -> float) -> lo:float -> float
 (** Integral of [f] on [lo, infinity) by summing adaptive-Simpson panels of
     growing width until a panel contributes less than [rel_tol] of the
     running total (default [rel_tol = 1e-10], first [segment] width 1.0,
     [max_segments = 200]).  Intended for integrands with Gaussian-type
-    decay, as in the hitting-probability formulas. *)
+    decay, as in the hitting-probability formulas.
+
+    [abs_tol] (default [1e-14]) is the per-panel absolute floor of the
+    inner Simpson refinement.  For integrals whose value is far below it
+    — the eqn (37) overflow probabilities reach 1e-150 — the default
+    floor halts refinement immediately and the result carries O(1)
+    relative error; pass [~abs_tol:0.] to keep the tolerance purely
+    relative at any magnitude. *)

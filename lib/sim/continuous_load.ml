@@ -58,88 +58,177 @@ type result = {
   events : int;
 }
 
-type event = Depart of int | Change of int | Arrive
+(* Events are packed into the heap's native-int payload so pushing and
+   popping never allocates: a 2-bit tag, a 24-bit flow slot, and the
+   slot's generation above.  The generation stamps heap entries against
+   slot reuse: a [Change] left pending by a departed flow must not touch
+   the slot's next occupant, so handlers compare the payload generation
+   with the slot's current one and drop stale events — the job flow ids
+   did under the old hashtable (ids were never reused). *)
+let tag_arrive = 0
+let tag_depart = 1
+let tag_change = 2
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+let[@inline] encode ~tag ~slot ~gen = tag lor (slot lsl 2) lor (gen lsl (slot_bits + 2))
+let[@inline] payload_tag p = p land 3
+let[@inline] payload_slot p = (p lsr 2) land slot_mask
+let[@inline] payload_gen p = p lsr (slot_bits + 2)
 
-(* [granted] is the rate the link has actually allocated to the flow; it
-   equals the source's desired rate except when an upward renegotiation
-   was blocked under [`Renegotiation_blocking]. *)
-type flow = { source : Mbac_traffic.Source.t; mutable granted : float }
+(* Per-event mutable floats live in their own all-float record so the
+   simulator's stores stay unboxed (a mutable float field in the mixed
+   [state] record below would box on every store). *)
+type hot = {
+  mutable now : float;
+  mutable sum_rate : float;
+  mutable sum_sq : float;
+  (* telemetry: overflow-episode tracking and periodic trace snapshots *)
+  mutable ovf_start : float;   (* nan when not in an overflow episode *)
+  mutable ovf_excess : float;  (* ∫(load - capacity)dt over the episode *)
+  mutable ovf_time : float;
+  mutable next_snapshot : float;
+}
 
+(* Dense flow table: a structure of arrays indexed by slot, with a
+   free-slot stack.  [granted] is the rate the link has actually
+   allocated to the flow; it equals the source's desired rate except
+   when an upward renegotiation was blocked under
+   [`Renegotiation_blocking].  A slot is live iff [sources.(slot)] is
+   [Some _]; its generation counts how many flows have occupied it. *)
 type state = {
   cfg : config;
   rng : Mbac_stats.Rng.t;
   controller : Mbac.Controller.t;
   make_source : Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t;
-  heap : event Event_heap.t;
-  flows : (int, flow) Hashtbl.t;
+  heap : Event_heap.t;
+  mutable granted : Float.Array.t;
+  mutable sources : Mbac_traffic.Source.t option array;
+  mutable gens : int array;
+  mutable free : int array;      (* stack of vacant slots *)
+  mutable free_top : int;
+  mutable slot_limit : int;      (* slots ever used (high-water mark) *)
   meas : Measurement.t;
   buffer : Fluid_buffer.t option;
   utility_stats : Mbac_stats.Welford.Weighted.t;
   flow_count_stats : Mbac_stats.Welford.Weighted.t;
-  mutable now : float;
+  hot : hot;
   mutable n : int;
-  mutable sum_rate : float;
-  mutable sum_sq : float;
-  mutable next_fid : int;
   mutable admitted : int;
   mutable departed : int;
   mutable blocked : int;
   mutable reneg_attempts : int;
   mutable reneg_failures : int;
   mutable events : int;
-  (* telemetry: overflow-episode tracking and periodic trace snapshots *)
-  mutable ovf_start : float;   (* nan when not in an overflow episode *)
-  mutable ovf_excess : float;  (* ∫(load - capacity)dt over the episode *)
   mutable ovf_episodes : int;
-  mutable ovf_time : float;
-  mutable next_snapshot : float;
 }
 
-let observation s =
-  Mbac.Observation.make ~now:s.now ~n:s.n ~sum_rate:s.sum_rate ~sum_sq:s.sum_sq
+(* Episode counters fire on every overflow-episode boundary; resolve
+   their names once instead of hashing per update. *)
+let m_ovf_episodes = Mbac_telemetry.Metrics.Handle.counter "sim_overflow_episodes_total"
+let m_ovf_time = Mbac_telemetry.Metrics.Handle.sum "sim_overflow_time"
+let m_ovf_excess = Mbac_telemetry.Metrics.Handle.sum "sim_overflow_excess_volume"
+
+(* Normalized by batch_length so the histogram shape is identical across
+   sweep cells with different batch lengths (shards with
+   differently-shaped same-name histograms cannot merge). *)
+let m_ovf_duration =
+  Mbac_telemetry.Metrics.Handle.histogram "sim_overflow_episode_duration_batches"
+    ~lo:0.0 ~hi:20.0 ~bins:40
+
+let[@inline] observation s =
+  Mbac.Observation.make ~now:s.hot.now ~n:s.n ~sum_rate:s.hot.sum_rate
+    ~sum_sq:s.hot.sum_sq
 
 (* Counter the slow drift of the incrementally-maintained sums by
-   recomputing them from scratch periodically. *)
+   recomputing them from scratch periodically (linear slot scan). *)
 let resync_sums s =
   let sum = ref 0.0 and sq = ref 0.0 in
-  Hashtbl.iter
-    (fun _ f ->
-      sum := !sum +. f.granted;
-      sq := !sq +. (f.granted *. f.granted))
-    s.flows;
-  s.sum_rate <- !sum;
-  s.sum_sq <- !sq
+  for slot = 0 to s.slot_limit - 1 do
+    match Array.unsafe_get s.sources slot with
+    | Some _ ->
+        let g = Float.Array.unsafe_get s.granted slot in
+        sum := !sum +. g;
+        sq := !sq +. (g *. g)
+    | None -> ()
+  done;
+  s.hot.sum_rate <- !sum;
+  s.hot.sum_sq <- !sq
+
+let grow_flow_table s =
+  let cap = Array.length s.sources in
+  let ncap = if cap = 0 then 1024 else 2 * cap in
+  let granted = Float.Array.create ncap in
+  Float.Array.blit s.granted 0 granted 0 cap;
+  let sources = Array.make ncap None in
+  Array.blit s.sources 0 sources 0 cap;
+  let gens = Array.make ncap 0 in
+  Array.blit s.gens 0 gens 0 cap;
+  s.granted <- granted;
+  s.sources <- sources;
+  s.gens <- gens
+
+let alloc_slot s =
+  if s.free_top > 0 then begin
+    s.free_top <- s.free_top - 1;
+    s.free.(s.free_top)
+  end
+  else begin
+    if s.slot_limit = Array.length s.sources then grow_flow_table s;
+    if s.slot_limit > slot_mask then
+      invalid_arg "Continuous_load: more concurrent flows than slot bits";
+    let slot = s.slot_limit in
+    s.slot_limit <- slot + 1;
+    slot
+  end
+
+let free_slot s slot =
+  s.sources.(slot) <- None;
+  s.gens.(slot) <- s.gens.(slot) + 1;
+  if s.free_top = Array.length s.free then begin
+    let ncap = max 1024 (2 * Array.length s.free) in
+    let free = Array.make ncap 0 in
+    Array.blit s.free 0 free 0 s.free_top;
+    s.free <- free
+  end;
+  s.free.(s.free_top) <- slot;
+  s.free_top <- s.free_top + 1
 
 let admit_one s =
-  let source = s.make_source s.rng ~start:s.now in
-  let fid = s.next_fid in
-  s.next_fid <- fid + 1;
+  let source = s.make_source s.rng ~start:s.hot.now in
+  let slot = alloc_slot s in
+  let gen = s.gens.(slot) in
   let r = Mbac_traffic.Source.rate source in
-  Hashtbl.replace s.flows fid { source; granted = r };
+  Float.Array.set s.granted slot r;
+  s.sources.(slot) <- Some source;
   s.n <- s.n + 1;
-  s.sum_rate <- s.sum_rate +. r;
-  s.sum_sq <- s.sum_sq +. (r *. r);
+  s.hot.sum_rate <- s.hot.sum_rate +. r;
+  s.hot.sum_sq <- s.hot.sum_sq +. (r *. r);
   s.admitted <- s.admitted + 1;
   let holding =
     Mbac_stats.Sample.exponential s.rng ~mean:s.cfg.holding_time_mean
   in
-  Event_heap.push s.heap ~time:(s.now +. holding) (Depart fid);
+  Event_heap.push s.heap ~time:(s.hot.now +. holding)
+    (encode ~tag:tag_depart ~slot ~gen);
   Event_heap.push s.heap ~time:(Mbac_traffic.Source.next_change source)
-    (Change fid)
+    (encode ~tag:tag_change ~slot ~gen)
 
 (* Infinite offered load: admit while the controller allows more flows
    than are present.  Each admission is observed before the next
-   decision, so the controller reacts to its own admissions. *)
-let try_admit s =
+   decision, so the controller reacts to its own admissions.  [obs0]
+   must describe the current state — callers have always just built it
+   for their own controller notification, so the common no-admission
+   case costs no fresh observation. *)
+let try_admit s obs0 =
+  let obs = ref obs0 in
   let continue = ref true in
   while !continue do
-    let obs = observation s in
-    let m = Mbac.Controller.admissible s.controller obs in
+    let m = Mbac.Controller.admissible s.controller !obs in
     if s.n < m && s.n < s.cfg.max_flows then begin
       admit_one s;
       let obs' = observation s in
       Mbac.Controller.observe s.controller obs';
-      Mbac.Controller.on_admit s.controller obs'
+      Mbac.Controller.on_admit s.controller obs';
+      obs := obs'
     end
     else continue := false
   done
@@ -159,59 +248,61 @@ let handle_arrival s =
   match s.cfg.arrival with
   | `Poisson rate ->
       Event_heap.push s.heap
-        ~time:(s.now +. Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
-        Arrive
+        ~time:
+          (s.hot.now +. Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
+        tag_arrive
   | `Infinite -> ()
 
 (* Overflow-episode bookkeeping over one load-constant segment: an
    episode opens when the aggregate first exceeds capacity and closes on
    the first segment back at or under it.  Counters are always on; the
-   start/end trace events only render when tracing is enabled. *)
-let track_overflow s ~t0 ~t1 =
-  let over = s.sum_rate > s.cfg.capacity in
-  let in_episode = not (Float.is_nan s.ovf_start) in
-  if over && not in_episode then begin
-    s.ovf_start <- t0;
-    s.ovf_excess <- 0.0;
-    s.ovf_episodes <- s.ovf_episodes + 1;
-    Mbac_telemetry.Trace.emit ~t:t0 ~kind:"overflow_start"
-      [ ("load", Mbac_telemetry.Trace.Float s.sum_rate);
-        ("capacity", Mbac_telemetry.Trace.Float s.cfg.capacity);
-        ("n", Mbac_telemetry.Trace.Int s.n) ]
-  end
-  else if (not over) && in_episode then begin
-    let duration = t0 -. s.ovf_start in
-    s.ovf_time <- s.ovf_time +. duration;
-    Mbac_telemetry.Metrics.inc "sim_overflow_episodes_total";
-    Mbac_telemetry.Metrics.add "sim_overflow_time" duration;
-    Mbac_telemetry.Metrics.add "sim_overflow_excess_volume" s.ovf_excess;
-    (* Normalized by batch_length so the histogram shape is identical
-       across sweep cells with different batch lengths (shards with
-       differently-shaped same-name histograms cannot merge). *)
-    Mbac_telemetry.Metrics.observe "sim_overflow_episode_duration_batches"
-      ~lo:0.0 ~hi:20.0 ~bins:40
-      (duration /. s.cfg.batch_length);
+   start/end trace events only render when tracing is enabled (and their
+   field lists are only built then). *)
+let close_overflow_episode s ~t0 =
+  let duration = t0 -. s.hot.ovf_start in
+  s.hot.ovf_time <- s.hot.ovf_time +. duration;
+  Mbac_telemetry.Metrics.Handle.inc m_ovf_episodes;
+  Mbac_telemetry.Metrics.Handle.add m_ovf_time duration;
+  Mbac_telemetry.Metrics.Handle.add m_ovf_excess s.hot.ovf_excess;
+  Mbac_telemetry.Metrics.Handle.observe m_ovf_duration
+    (duration /. s.cfg.batch_length);
+  if Mbac_telemetry.Trace.enabled () then
     Mbac_telemetry.Trace.emit ~t:t0 ~kind:"overflow_end"
-      [ ("start", Mbac_telemetry.Trace.Float s.ovf_start);
+      [ ("start", Mbac_telemetry.Trace.Float s.hot.ovf_start);
         ("duration", Mbac_telemetry.Trace.Float duration);
-        ("excess_volume", Mbac_telemetry.Trace.Float s.ovf_excess) ];
-    s.ovf_start <- nan;
-    s.ovf_excess <- 0.0
-  end;
+        ("excess_volume", Mbac_telemetry.Trace.Float s.hot.ovf_excess) ];
+  s.hot.ovf_start <- nan;
+  s.hot.ovf_excess <- 0.0
+
+let[@inline] track_overflow s ~t0 ~t1 =
+  let over = s.hot.sum_rate > s.cfg.capacity in
+  let in_episode = not (Float.is_nan s.hot.ovf_start) in
+  if over && not in_episode then begin
+    s.hot.ovf_start <- t0;
+    s.hot.ovf_excess <- 0.0;
+    s.ovf_episodes <- s.ovf_episodes + 1;
+    if Mbac_telemetry.Trace.enabled () then
+      Mbac_telemetry.Trace.emit ~t:t0 ~kind:"overflow_start"
+        [ ("load", Mbac_telemetry.Trace.Float s.hot.sum_rate);
+          ("capacity", Mbac_telemetry.Trace.Float s.cfg.capacity);
+          ("n", Mbac_telemetry.Trace.Int s.n) ]
+  end
+  else if (not over) && in_episode then close_overflow_episode s ~t0;
   if over then
-    s.ovf_excess <- s.ovf_excess +. ((s.sum_rate -. s.cfg.capacity) *. (t1 -. t0))
+    s.hot.ovf_excess <-
+      s.hot.ovf_excess +. ((s.hot.sum_rate -. s.cfg.capacity) *. (t1 -. t0))
 
 (* Periodic estimator snapshots on a fixed virtual-time grid (one per
    batch), emitted only while tracing: the running cross-sectional
    estimate next to the measured overflow fraction so far. *)
 let emit_snapshots s ~t1 =
-  while s.next_snapshot <= t1 do
-    let t = s.next_snapshot in
-    s.next_snapshot <- s.next_snapshot +. s.cfg.batch_length;
+  while s.hot.next_snapshot <= t1 do
+    let t = s.hot.next_snapshot in
+    s.hot.next_snapshot <- s.hot.next_snapshot +. s.cfg.batch_length;
     let obs = observation s in
     Mbac_telemetry.Trace.emit ~t ~kind:"estimator"
       [ ("n", Mbac_telemetry.Trace.Int s.n);
-        ("load", Mbac_telemetry.Trace.Float s.sum_rate);
+        ("load", Mbac_telemetry.Trace.Float s.hot.sum_rate);
         ("mu_hat", Mbac_telemetry.Trace.Float (Mbac.Observation.cross_mean obs));
         ("sigma_hat",
          Mbac_telemetry.Trace.Float (sqrt (Mbac.Observation.cross_variance obs)));
@@ -219,24 +310,30 @@ let emit_snapshots s ~t1 =
          Mbac_telemetry.Trace.Float (Measurement.overflow_fraction s.meas)) ]
   done
 
-let record_segment s ~t0 ~t1 =
-  Measurement.record s.meas ~t0 ~t1 ~load:s.sum_rate;
+let feed_buffer s b ~t0 ~t1 =
+  (* feed through the warm-up (to build up a realistic level) but
+     discard the counters at the warm-up boundary, like the overflow
+     measurement does *)
+  if t0 < s.cfg.warmup && t1 > s.cfg.warmup then begin
+    Fluid_buffer.feed b ~duration:(s.cfg.warmup -. t0) ~load:s.hot.sum_rate;
+    Fluid_buffer.reset_statistics b;
+    Fluid_buffer.feed b ~duration:(t1 -. s.cfg.warmup) ~load:s.hot.sum_rate
+  end
+  else begin
+    Fluid_buffer.feed b ~duration:(t1 -. t0) ~load:s.hot.sum_rate;
+    if t1 <= s.cfg.warmup then Fluid_buffer.reset_statistics b
+  end
+
+(* No loops anywhere on the common path below (the snapshot loop is out
+   of line and trace-gated), so this inlines into [process_event] and
+   the segment endpoints never box. *)
+let[@inline] record_segment s ~t1 =
+  let t0 = s.hot.now in
+  Measurement.record s.meas ~t0 ~t1 ~load:s.hot.sum_rate;
   if t1 > t0 then track_overflow s ~t0 ~t1;
   if Mbac_telemetry.Trace.enabled () then emit_snapshots s ~t1;
   (match s.buffer with
-  | Some b when t1 > t0 ->
-      (* feed through the warm-up (to build up a realistic level) but
-         discard the counters at the warm-up boundary, like the overflow
-         measurement does *)
-      if t0 < s.cfg.warmup && t1 > s.cfg.warmup then begin
-        Fluid_buffer.feed b ~duration:(s.cfg.warmup -. t0) ~load:s.sum_rate;
-        Fluid_buffer.reset_statistics b;
-        Fluid_buffer.feed b ~duration:(t1 -. s.cfg.warmup) ~load:s.sum_rate
-      end
-      else begin
-        Fluid_buffer.feed b ~duration:(t1 -. t0) ~load:s.sum_rate;
-        if t1 <= s.cfg.warmup then Fluid_buffer.reset_statistics b
-      end
+  | Some b when t1 > t0 -> feed_buffer s b ~t0 ~t1
   | Some _ | None -> ());
   if t1 > s.cfg.warmup then begin
     let t0' = Float.max t0 s.cfg.warmup in
@@ -244,66 +341,93 @@ let record_segment s ~t0 ~t1 =
     Mbac_stats.Welford.Weighted.add s.flow_count_stats ~weight:w
       (float_of_int s.n);
     let f =
-      Mbac.Utility.delivered_fraction ~capacity:s.cfg.capacity ~load:s.sum_rate
+      Mbac.Utility.delivered_fraction ~capacity:s.cfg.capacity
+        ~load:s.hot.sum_rate
     in
     Mbac_stats.Welford.Weighted.add s.utility_stats ~weight:w
       (Mbac.Utility.eval s.cfg.utility f)
   end
 
-let process_event s te payload =
-  record_segment s ~t0:s.now ~t1:te;
-  s.now <- te;
-  (match payload with
-  | Arrive -> handle_arrival s
-  | Depart fid -> (
-      match Hashtbl.find_opt s.flows fid with
-      | None -> () (* cannot happen for departures; kept safe *)
-      | Some f ->
-          Hashtbl.remove s.flows fid;
-          let r = f.granted in
-          s.n <- s.n - 1;
-          s.sum_rate <- s.sum_rate -. r;
-          s.sum_sq <- s.sum_sq -. (r *. r);
-          if s.n = 0 then begin
-            (* clear float-cancellation residue *)
-            s.sum_rate <- 0.0;
-            s.sum_sq <- 0.0
-          end;
-          s.departed <- s.departed + 1;
-          let obs = observation s in
-          Mbac.Controller.observe s.controller obs;
-          Mbac.Controller.on_depart s.controller obs)
-  | Change fid -> (
-      match Hashtbl.find_opt s.flows fid with
-      | None -> () (* stale event of a departed flow *)
-      | Some f ->
-          let old_granted = f.granted in
-          Mbac_traffic.Source.fire f.source ~now:te;
-          let desired = Mbac_traffic.Source.rate f.source in
-          s.reneg_attempts <- s.reneg_attempts + 1;
-          (* The paper's RCBR service (§2): "bandwidth renegotiations fail
-             when the current aggregate bandwidth demand exceeds the link
-             capacity".  We count an upward renegotiation as failed when
-             the post-change aggregate demand exceeds capacity.  The
-             dynamics remain those of the bufferless demand model: the
-             admission controller sees demands (a failed flow keeps
-             requesting), so blocking does not silently deflate the
-             measured load. *)
-          (match s.cfg.link with
-          | `Renegotiation_blocking
-            when desired > old_granted
-                 && s.sum_rate -. old_granted +. desired > s.cfg.capacity ->
-              s.reneg_failures <- s.reneg_failures + 1
-          | `Renegotiation_blocking | `Bufferless | `Buffered _ -> ());
-          f.granted <- desired;
-          s.sum_rate <- s.sum_rate +. desired -. old_granted;
-          s.sum_sq <-
-            s.sum_sq +. (desired *. desired) -. (old_granted *. old_granted);
-          Event_heap.push s.heap
-            ~time:(Mbac_traffic.Source.next_change f.source)
-            (Change fid);
-          Mbac.Controller.observe s.controller (observation s)));
-  match s.cfg.arrival with `Infinite -> try_admit s | `Poisson _ -> ()
+let handle_depart s slot gen =
+  match s.sources.(slot) with
+  | Some _ when s.gens.(slot) = gen ->
+      let r = Float.Array.get s.granted slot in
+      free_slot s slot;
+      s.n <- s.n - 1;
+      s.hot.sum_rate <- s.hot.sum_rate -. r;
+      s.hot.sum_sq <- s.hot.sum_sq -. (r *. r);
+      if s.n = 0 then begin
+        (* clear float-cancellation residue *)
+        s.hot.sum_rate <- 0.0;
+        s.hot.sum_sq <- 0.0
+      end;
+      s.departed <- s.departed + 1;
+      let obs = observation s in
+      Mbac.Controller.observe s.controller obs;
+      Mbac.Controller.on_depart s.controller obs;
+      (match s.cfg.arrival with
+      | `Infinite -> try_admit s obs
+      | `Poisson _ -> ())
+  | Some _ | None -> (
+      (* cannot happen for departures; kept safe *)
+      match s.cfg.arrival with
+      | `Infinite -> try_admit s (observation s)
+      | `Poisson _ -> ())
+
+let handle_change s slot gen =
+  match s.sources.(slot) with
+  | Some source when s.gens.(slot) = gen ->
+      let old_granted = Float.Array.get s.granted slot in
+      Mbac_traffic.Source.fire source ~now:s.hot.now;
+      let desired = Mbac_traffic.Source.rate source in
+      s.reneg_attempts <- s.reneg_attempts + 1;
+      (* The paper's RCBR service (§2): "bandwidth renegotiations fail
+         when the current aggregate bandwidth demand exceeds the link
+         capacity".  We count an upward renegotiation as failed when
+         the post-change aggregate demand exceeds capacity.  The
+         dynamics remain those of the bufferless demand model: the
+         admission controller sees demands (a failed flow keeps
+         requesting), so blocking does not silently deflate the
+         measured load. *)
+      (match s.cfg.link with
+      | `Renegotiation_blocking
+        when desired > old_granted
+             && s.hot.sum_rate -. old_granted +. desired > s.cfg.capacity ->
+          s.reneg_failures <- s.reneg_failures + 1
+      | `Renegotiation_blocking | `Bufferless | `Buffered _ -> ());
+      Float.Array.set s.granted slot desired;
+      s.hot.sum_rate <- s.hot.sum_rate +. desired -. old_granted;
+      s.hot.sum_sq <-
+        s.hot.sum_sq +. (desired *. desired) -. (old_granted *. old_granted);
+      Event_heap.push s.heap
+        ~time:(Mbac_traffic.Source.next_change source)
+        (encode ~tag:tag_change ~slot ~gen);
+      let obs = observation s in
+      Mbac.Controller.observe s.controller obs;
+      (match s.cfg.arrival with
+      | `Infinite -> try_admit s obs
+      | `Poisson _ -> ())
+  | Some _ | None -> (
+      (* stale event of a departed flow (or of a reused slot) *)
+      match s.cfg.arrival with
+      | `Infinite -> try_admit s (observation s)
+      | `Poisson _ -> ())
+
+(* Pop and process the earliest event.  Reading the minimum in place
+   (rather than through [pop]'s option/pair) keeps the loop
+   allocation-free. *)
+let process_event s =
+  let te = Event_heap.min_time s.heap in
+  let payload = Event_heap.min_payload s.heap in
+  Event_heap.drop_min s.heap;
+  record_segment s ~t1:te;
+  s.hot.now <- te;
+  let tag = payload_tag payload in
+  if tag = tag_change then
+    handle_change s (payload_slot payload) (payload_gen payload)
+  else if tag = tag_depart then
+    handle_depart s (payload_slot payload) (payload_gen payload)
+  else handle_arrival s
 
 let run rng cfg ~controller ~make_source =
   if cfg.capacity <= 0.0 then invalid_arg "Continuous_load.run: capacity <= 0";
@@ -317,7 +441,12 @@ let run rng cfg ~controller ~make_source =
   let s =
     { cfg; rng; controller; make_source;
       heap = Event_heap.create ();
-      flows = Hashtbl.create 1024;
+      granted = Float.Array.create 0;
+      sources = [||];
+      gens = [||];
+      free = [||];
+      free_top = 0;
+      slot_limit = 0;
       meas =
         Measurement.create ~sample_spacing:cfg.batch_length
           ~capacity:cfg.capacity ~warmup:cfg.warmup
@@ -328,57 +457,60 @@ let run rng cfg ~controller ~make_source =
         | `Bufferless | `Renegotiation_blocking -> None);
       utility_stats = Mbac_stats.Welford.Weighted.create ();
       flow_count_stats = Mbac_stats.Welford.Weighted.create ();
-      now = 0.0; n = 0; sum_rate = 0.0; sum_sq = 0.0;
-      next_fid = 0; admitted = 0; departed = 0; blocked = 0;
+      hot =
+        { now = 0.0; sum_rate = 0.0; sum_sq = 0.0;
+          ovf_start = nan; ovf_excess = 0.0; ovf_time = 0.0;
+          next_snapshot = cfg.warmup };
+      n = 0; admitted = 0; departed = 0; blocked = 0;
       reneg_attempts = 0; reneg_failures = 0; events = 0;
-      ovf_start = nan; ovf_excess = 0.0; ovf_episodes = 0; ovf_time = 0.0;
-      next_snapshot = cfg.warmup }
+      ovf_episodes = 0 }
   in
-  Mbac.Controller.observe controller (observation s);
-  (match cfg.arrival with
-  | `Infinite -> try_admit s
-  | `Poisson rate ->
-      Event_heap.push s.heap
-        ~time:(Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
-        Arrive);
+  (let obs0 = observation s in
+   Mbac.Controller.observe controller obs0;
+   match cfg.arrival with
+   | `Infinite -> try_admit s obs0
+   | `Poisson rate ->
+       Event_heap.push s.heap
+         ~time:(Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
+         tag_arrive);
   let stopped = ref None in
   let running = ref true in
   while !running do
-    (match Event_heap.pop s.heap with
-    | None -> running := false (* cannot happen while flows exist *)
-    | Some (te, payload) ->
-        process_event s te payload;
-        s.events <- s.events + 1;
-        if s.events mod 4_000_000 = 0 then resync_sums s;
-        if s.events mod cfg.check_every_events = 0 then begin
-          match
-            Measurement.check_stop ~confidence:cfg.confidence
-              ~rel_ci:cfg.rel_ci ~min_batches:cfg.min_batches s.meas
-              ~target:cfg.target_p_q
-          with
-          | Measurement.Running -> ()
-          | v ->
-              stopped := Some v;
-              running := false
-        end);
-    if s.now >= cfg.max_time || s.events >= cfg.max_events then running := false
+    if Event_heap.is_empty s.heap then
+      running := false (* cannot happen while flows exist *)
+    else begin
+      process_event s;
+      s.events <- s.events + 1;
+      if s.events mod 4_000_000 = 0 then resync_sums s;
+      if s.events mod cfg.check_every_events = 0 then begin
+        match
+          Measurement.check_stop ~confidence:cfg.confidence ~rel_ci:cfg.rel_ci
+            ~min_batches:cfg.min_batches s.meas ~target:cfg.target_p_q
+        with
+        | Measurement.Running -> ()
+        | v ->
+            stopped := Some v;
+            running := false
+      end
+    end;
+    if s.hot.now >= cfg.max_time || s.events >= cfg.max_events then
+      running := false
   done;
   (* Close an overflow episode left open at the end of the run, and fold
      the run's totals into the telemetry shard (exact totals, added once,
      instead of per-event increments on the hot path). *)
-  if not (Float.is_nan s.ovf_start) then begin
-    let duration = s.now -. s.ovf_start in
-    s.ovf_time <- s.ovf_time +. duration;
-    Mbac_telemetry.Metrics.inc "sim_overflow_episodes_total";
-    Mbac_telemetry.Metrics.add "sim_overflow_time" duration;
-    Mbac_telemetry.Metrics.add "sim_overflow_excess_volume" s.ovf_excess;
-    Mbac_telemetry.Metrics.observe "sim_overflow_episode_duration_batches"
-      ~lo:0.0 ~hi:20.0 ~bins:40
+  if not (Float.is_nan s.hot.ovf_start) then begin
+    let duration = s.hot.now -. s.hot.ovf_start in
+    s.hot.ovf_time <- s.hot.ovf_time +. duration;
+    Mbac_telemetry.Metrics.Handle.inc m_ovf_episodes;
+    Mbac_telemetry.Metrics.Handle.add m_ovf_time duration;
+    Mbac_telemetry.Metrics.Handle.add m_ovf_excess s.hot.ovf_excess;
+    Mbac_telemetry.Metrics.Handle.observe m_ovf_duration
       (duration /. s.cfg.batch_length);
-    Mbac_telemetry.Trace.emit ~t:s.now ~kind:"overflow_end"
-      [ ("start", Mbac_telemetry.Trace.Float s.ovf_start);
+    Mbac_telemetry.Trace.emit ~t:s.hot.now ~kind:"overflow_end"
+      [ ("start", Mbac_telemetry.Trace.Float s.hot.ovf_start);
         ("duration", Mbac_telemetry.Trace.Float duration);
-        ("excess_volume", Mbac_telemetry.Trace.Float s.ovf_excess);
+        ("excess_volume", Mbac_telemetry.Trace.Float s.hot.ovf_excess);
         ("truncated", Mbac_telemetry.Trace.Bool true) ]
   end;
   Mbac_telemetry.Metrics.inc ~by:s.events "sim_events_total";
@@ -388,7 +520,7 @@ let run rng cfg ~controller ~make_source =
   Mbac_telemetry.Metrics.inc ~by:s.reneg_attempts "sim_reneg_attempts_total";
   Mbac_telemetry.Metrics.inc ~by:s.reneg_failures "sim_reneg_failures_total";
   Mbac_telemetry.Metrics.inc "sim_runs_total";
-  Mbac_telemetry.Metrics.add "sim_time_simulated" s.now;
+  Mbac_telemetry.Metrics.add "sim_time_simulated" s.hot.now;
   (match s.buffer with
   | Some b ->
       Mbac_telemetry.Metrics.add "sim_buffer_lost_volume"
@@ -435,17 +567,17 @@ let run rng cfg ~controller ~make_source =
       | Some b -> Fluid_buffer.loss_time_fraction b
       | None -> nan);
     p_f_point = Measurement.point_fraction s.meas;
-    sim_time = s.now;
+    sim_time = s.hot.now;
     events = s.events }
   in
   Mbac_telemetry.Metrics.set_gauge "sim_last_p_f" result.p_f;
   Mbac_telemetry.Metrics.set_gauge "sim_last_utilization" result.utilization;
-  Mbac_telemetry.Trace.emit ~t:s.now ~kind:"run_end"
+  Mbac_telemetry.Trace.emit ~t:s.hot.now ~kind:"run_end"
     [ ("controller", Mbac_telemetry.Trace.Str (Mbac.Controller.name controller));
       ("p_f", Mbac_telemetry.Trace.Float result.p_f);
       ("utilization", Mbac_telemetry.Trace.Float result.utilization);
       ("overflow_episodes", Mbac_telemetry.Trace.Int s.ovf_episodes);
-      ("overflow_time", Mbac_telemetry.Trace.Float s.ovf_time);
+      ("overflow_time", Mbac_telemetry.Trace.Float s.hot.ovf_time);
       ("admitted", Mbac_telemetry.Trace.Int s.admitted);
       ("events", Mbac_telemetry.Trace.Int s.events) ];
   result

@@ -1,20 +1,39 @@
 (** Binary min-heap keyed by event time — the simulator's event queue.
     Ties are broken by insertion order (FIFO), which keeps runs
-    deterministic. *)
+    deterministic.
 
-type 'a t
+    The heap is a structure-of-arrays over unboxed floats and immediate
+    ints, so [push], [min_time]/[min_payload]/[drop_min], and [pop]
+    never allocate (beyond amortized capacity doubling).  Payloads are
+    native ints; callers needing richer events pack them into an int
+    (tag in the low bits, identifier above — see [Continuous_load]). *)
 
-val create : unit -> 'a t
-val size : 'a t -> int
-val is_empty : 'a t -> bool
+type t
 
-val push : 'a t -> time:float -> 'a -> unit
+val create : unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val push : t -> time:float -> int -> unit
 (** @raise Invalid_argument on NaN time. *)
 
-val peek_time : 'a t -> float option
-val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event.  The vacated slot is released
-    immediately: the heap retains no reference to popped payloads. *)
+val min_time : t -> float
+(** Time of the earliest event, read in place.
+    @raise Invalid_argument on an empty heap. *)
 
-val clear : 'a t -> unit
-(** Drop every pending event (and any references to their payloads). *)
+val min_payload : t -> int
+(** Payload of the earliest event, read in place.
+    @raise Invalid_argument on an empty heap. *)
+
+val drop_min : t -> unit
+(** Remove the earliest event (the one [min_time]/[min_payload] read).
+    @raise Invalid_argument on an empty heap. *)
+
+val peek_time : t -> float option
+
+val pop : t -> (float * int) option
+(** Remove and return the earliest event.  Convenience wrapper over
+    [min_time]/[min_payload]/[drop_min]; allocates the result pair. *)
+
+val clear : t -> unit
+(** Drop every pending event. *)

@@ -1,3 +1,6 @@
+let m_loss_episodes =
+  Mbac_telemetry.Metrics.Handle.counter "buffer_loss_episodes_total"
+
 type t = {
   capacity : float;
   size : float;
@@ -39,7 +42,7 @@ let feed t ~duration ~load =
         if not t.losing then begin
           t.losing <- true;
           t.loss_episodes <- t.loss_episodes + 1;
-          Mbac_telemetry.Metrics.inc "buffer_loss_episodes_total"
+          Mbac_telemetry.Metrics.Handle.inc m_loss_episodes
         end
       end
     end

@@ -1,5 +1,19 @@
 type admission = { m_0 : int; mu_hat : float; sigma_hat : float }
 
+(* Metric names resolved once at module initialisation; updates in the
+   replication loops below are plain array stores. *)
+let m_bursts = Mbac_telemetry.Metrics.Handle.counter "impulsive_bursts_total"
+
+let m_admitted =
+  Mbac_telemetry.Metrics.Handle.counter "impulsive_flows_admitted_total"
+
+let m_rejected =
+  Mbac_telemetry.Metrics.Handle.counter "impulsive_flows_rejected_total"
+
+let m_m0_fraction =
+  Mbac_telemetry.Metrics.Handle.histogram "impulsive_m0_fraction" ~lo:0.0
+    ~hi:1.05 ~bins:21
+
 let admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source =
   if n_offered < 2 then invalid_arg "Impulsive_driver: requires n_offered >= 2";
   let sources = Array.init n_offered (fun _ -> make_source rng ~start:0.0) in
@@ -35,13 +49,11 @@ let admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source =
     if m' = m || k >= 20 then (m', mu_hat, sigma_hat) else fixpoint m' (k + 1)
   in
   let m_0, mu_hat, sigma_hat = fixpoint n_offered 0 in
-  Mbac_telemetry.Metrics.inc "impulsive_bursts_total";
-  Mbac_telemetry.Metrics.inc ~by:m_0 "impulsive_flows_admitted_total";
-  Mbac_telemetry.Metrics.inc ~by:(n_offered - m_0)
-    "impulsive_flows_rejected_total";
+  Mbac_telemetry.Metrics.Handle.inc m_bursts;
+  Mbac_telemetry.Metrics.Handle.inc ~by:m_0 m_admitted;
+  Mbac_telemetry.Metrics.Handle.inc ~by:(n_offered - m_0) m_rejected;
   (* Fixed shape across all burst sizes: the admitted fraction M_0/N. *)
-  Mbac_telemetry.Metrics.observe "impulsive_m0_fraction" ~lo:0.0 ~hi:1.05
-    ~bins:21
+  Mbac_telemetry.Metrics.Handle.observe m_m0_fraction
     (float_of_int m_0 /. float_of_int n_offered);
   if Mbac_telemetry.Trace.enabled () then
     Mbac_telemetry.Trace.emit ~sampled:true ~t:0.0 ~kind:"burst"

@@ -1,11 +1,17 @@
+(* Per-event mutable floats live in their own all-float record so the
+   stores stay unboxed. *)
+type hot = {
+  mutable time : float;
+  mutable next_sample : float; (* absolute time of the next grid point *)
+}
+
 type t = {
   capacity : float;
   warmup : float;
   batch : Mbac_stats.Batch_means.t;
   load_stats : Mbac_stats.Welford.Weighted.t;
-  mutable time : float;
-  sample_spacing : float option;
-  mutable next_sample : float; (* absolute time of the next grid point *)
+  hot : hot;
+  sample_spacing : float; (* infinity = point sampling disabled *)
   mutable samples : int;
   mutable sample_hits : int;
 }
@@ -21,37 +27,41 @@ let create ?sample_spacing ~capacity ~warmup ~batch_length () =
   { capacity; warmup;
     batch = Mbac_stats.Batch_means.create ~batch_length;
     load_stats = Mbac_stats.Welford.Weighted.create ();
-    time = 0.0;
-    sample_spacing;
-    next_sample =
-      (match sample_spacing with Some s -> warmup +. s | None -> infinity);
+    hot =
+      { time = 0.0;
+        next_sample =
+          (match sample_spacing with Some s -> warmup +. s | None -> infinity) };
+    sample_spacing =
+      (match sample_spacing with Some s -> s | None -> infinity);
     samples = 0;
     sample_hits = 0 }
 
-let record t ~t0 ~t1 ~load =
+(* Point samples falling inside [t0, t1) see this constant load.  Kept
+   out of line (Closure does not inline functions containing loops); it
+   runs at most once per sample_spacing of simulated time. *)
+let sample_loop t ~t0 ~t1 ~load =
+  while t.hot.next_sample < t1 do
+    if t.hot.next_sample >= t0 then begin
+      t.samples <- t.samples + 1;
+      if load > t.capacity then t.sample_hits <- t.sample_hits + 1
+    end;
+    t.hot.next_sample <- t.hot.next_sample +. t.sample_spacing
+  done
+
+let[@inline] record t ~t0 ~t1 ~load =
   if t1 > t0 then begin
-    (* point samples falling inside [t0, t1) see this constant load *)
-    (match t.sample_spacing with
-    | Some s ->
-        while t.next_sample < t1 do
-          if t.next_sample >= t0 then begin
-            t.samples <- t.samples + 1;
-            if load > t.capacity then t.sample_hits <- t.sample_hits + 1
-          end;
-          t.next_sample <- t.next_sample +. s
-        done
-    | None -> ());
+    if t.hot.next_sample < t1 then sample_loop t ~t0 ~t1 ~load;
     let t0 = Float.max t0 t.warmup in
     if t1 > t0 then begin
       let w = t1 -. t0 in
       let indicator = if load > t.capacity then 1.0 else 0.0 in
       Mbac_stats.Batch_means.add t.batch ~weight:w indicator;
       Mbac_stats.Welford.Weighted.add t.load_stats ~weight:w load;
-      t.time <- t.time +. w
+      t.hot.time <- t.hot.time +. w
     end
   end
 
-let measured_time t = t.time
+let measured_time t = t.hot.time
 
 let point_fraction t =
   if t.samples = 0 then nan

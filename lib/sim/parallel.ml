@@ -1,5 +1,7 @@
 type task_outcome = Done | Failed of exn * Printexc.raw_backtrace
 
+let m_tasks = Mbac_telemetry.Metrics.Handle.counter "parallel_tasks_total"
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* One shared work queue (an atomic cursor over the task array), one
@@ -30,7 +32,7 @@ let run_tasks ?jobs tasks =
           let r =
             Mbac_telemetry.Shard.with_current shard (fun () ->
                 Mbac_telemetry.Profile.span "parallel.task" (fun () ->
-                    Mbac_telemetry.Metrics.inc "parallel_tasks_total";
+                    Mbac_telemetry.Metrics.Handle.inc m_tasks;
                     tasks.(i) ()))
           in
           (Some r, Done)

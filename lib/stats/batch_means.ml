@@ -1,7 +1,11 @@
+(* The open batch's accumulator lives in its own all-float record so the
+   per-event stores stay unboxed (mutable float fields of the mixed [t]
+   record would box on every store). *)
+type acc = { mutable weight : float; mutable sum : float }
+
 type t = {
   batch_length : float;
-  mutable current_weight : float;
-  mutable current_sum : float; (* weighted sum within the open batch *)
+  acc : acc; (* weighted sum within the open batch *)
   mutable batches : float list; (* completed batch means, newest first *)
   mutable n_batches : int;
 }
@@ -9,30 +13,42 @@ type t = {
 let create ~batch_length =
   if batch_length <= 0.0 then
     invalid_arg "Batch_means.create: requires batch_length > 0";
-  { batch_length; current_weight = 0.0; current_sum = 0.0; batches = []; n_batches = 0 }
+  { batch_length; acc = { weight = 0.0; sum = 0.0 }; batches = [];
+    n_batches = 0 }
 
 let close_batch t =
-  t.batches <- (t.current_sum /. t.current_weight) :: t.batches;
+  t.batches <- (t.acc.sum /. t.acc.weight) :: t.batches;
   t.n_batches <- t.n_batches + 1;
-  t.current_weight <- 0.0;
-  t.current_sum <- 0.0
+  t.acc.weight <- 0.0;
+  t.acc.sum <- 0.0
 
-let rec add t ~weight x =
+(* Batch-boundary path, at most once per [batch_length] of weight: fill
+   the batch exactly, close it, and spill the rest over (possibly across
+   several batches). *)
+let rec spill t ~weight x =
+  let room = t.batch_length -. t.acc.weight in
+  if weight < room then begin
+    t.acc.weight <- t.acc.weight +. weight;
+    t.acc.sum <- t.acc.sum +. (weight *. x)
+  end
+  else begin
+    t.acc.weight <- t.batch_length;
+    t.acc.sum <- t.acc.sum +. (room *. x);
+    close_batch t;
+    let rest = weight -. room in
+    if rest > 0.0 then spill t ~weight:rest x
+  end
+
+(* Common case — the weight fits in the open batch — inlines into the
+   caller so the float arguments stay unboxed. *)
+let[@inline] add t ~weight x =
   if weight < 0.0 then invalid_arg "Batch_means.add: negative weight";
   if weight > 0.0 then begin
-    let room = t.batch_length -. t.current_weight in
-    if weight < room then begin
-      t.current_weight <- t.current_weight +. weight;
-      t.current_sum <- t.current_sum +. (weight *. x)
+    if weight < t.batch_length -. t.acc.weight then begin
+      t.acc.weight <- t.acc.weight +. weight;
+      t.acc.sum <- t.acc.sum +. (weight *. x)
     end
-    else begin
-      (* Fill the batch exactly, close it, and spill the rest over. *)
-      t.current_weight <- t.batch_length;
-      t.current_sum <- t.current_sum +. (room *. x);
-      close_batch t;
-      let rest = weight -. room in
-      if rest > 0.0 then add t ~weight:rest x
-    end
+    else spill t ~weight x
   end
 
 let completed_batches t = t.n_batches

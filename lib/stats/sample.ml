@@ -1,16 +1,20 @@
-let uniform rng ~lo ~hi =
+let[@inline] uniform rng ~lo ~hi =
   if hi < lo then invalid_arg "Sample.uniform: requires lo <= hi";
   lo +. ((hi -. lo) *. Rng.float rng)
 
 let bernoulli rng ~p = Rng.float rng < p
 
-let exponential rng ~mean =
+(* Inlined: drawn once or twice per simulation event, and a non-inlined
+   call would box both the [mean] argument and the result. *)
+let[@inline] exponential rng ~mean =
   if mean <= 0.0 then invalid_arg "Sample.exponential: requires mean > 0";
   -.mean *. log (Rng.float_pos rng)
 
 (* Marsaglia polar method; generates pairs but we keep it stateless by
    discarding the second variate (cheap relative to the simulation cost,
-   and avoids hidden state in the sampler). *)
+   and avoids hidden state in the sampler).  The rejection loop makes
+   this the one sampler call that cannot inline, so a draw costs one
+   boxed return. *)
 let rec standard_gaussian rng =
   let u = (2.0 *. Rng.float rng) -. 1.0 in
   let v = (2.0 *. Rng.float rng) -. 1.0 in
@@ -18,20 +22,24 @@ let rec standard_gaussian rng =
   if s >= 1.0 || s = 0.0 then standard_gaussian rng
   else u *. sqrt (-2.0 *. log s /. s)
 
-let gaussian rng ~mu ~sigma =
+let[@inline] gaussian rng ~mu ~sigma =
   if sigma < 0.0 then invalid_arg "Sample.gaussian: requires sigma >= 0";
   mu +. (sigma *. standard_gaussian rng)
 
-let gaussian_truncated_nonneg rng ~mu ~sigma =
+(* Cold continuation: re-draws after a negative first sample, keeping
+   the common all-positive case of [gaussian_truncated_nonneg] a
+   non-recursive, inlinable straight line. *)
+let rec truncated_retry rng ~mu ~sigma n =
+  if n > 10_000 then mu (* pathological sigma/mu; fall back to the mean *)
+  else
+    let x = gaussian rng ~mu ~sigma in
+    if x >= 0.0 then x else truncated_retry rng ~mu ~sigma (n + 1)
+
+let[@inline] gaussian_truncated_nonneg rng ~mu ~sigma =
   if mu < 0.0 then
     invalid_arg "Sample.gaussian_truncated_nonneg: requires mu >= 0";
-  let rec draw n =
-    if n > 10_000 then mu (* pathological sigma/mu; fall back to the mean *)
-    else
-      let x = gaussian rng ~mu ~sigma in
-      if x >= 0.0 then x else draw (n + 1)
-  in
-  draw 0
+  let x = gaussian rng ~mu ~sigma in
+  if x >= 0.0 then x else truncated_retry rng ~mu ~sigma 1
 
 let lognormal rng ~mu_log ~sigma_log = exp (gaussian rng ~mu:mu_log ~sigma:sigma_log)
 

@@ -30,7 +30,9 @@ module Weighted = struct
 
   let create () = { w = 0.0; mean = 0.0; s = 0.0 }
 
-  let add t ~weight x =
+  (* Inlined into per-event callers so the float arguments stay unboxed
+     (the record itself is all-float, hence flat). *)
+  let[@inline] add t ~weight x =
     if weight < 0.0 then invalid_arg "Welford.Weighted.add: negative weight";
     if weight > 0.0 then begin
       let w' = t.w +. weight in

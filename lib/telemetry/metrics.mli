@@ -24,3 +24,34 @@ val observe : string -> lo:float -> hi:float -> bins:int -> float -> unit
     are used only when the histogram is first created in the current
     shard; call sites for one name must agree on them, since shards with
     differently-shaped histograms of the same name refuse to merge. *)
+
+(** Pre-resolved metric handles for hot paths.
+
+    A handle names a metric once, at registration; updating through it
+    skips the per-call string hash and table lookup (the resolved cell
+    is cached per shard, so the first touch in each shard — e.g. in each
+    parallel task — still goes through the string table).  Handles and
+    the name-based API above address the same cells: snapshots, merges
+    and the determinism contract are identical whichever API records.
+
+    Kinds are checked on every update: using a handle whose name is
+    already bound to a different kind raises [Invalid_argument], like
+    the name-based API. *)
+module Handle : sig
+  type t
+
+  val counter : string -> t
+  val sum : string -> t
+  val gauge : string -> t
+
+  val histogram : string -> lo:float -> hi:float -> bins:int -> t
+  (** Shape arguments apply only if this handle is the first to create
+      the histogram in a shard, mirroring {!observe}. *)
+
+  val name : t -> string
+
+  val inc : ?by:int -> t -> unit
+  val add : t -> float -> unit
+  val set_gauge : t -> float -> unit
+  val observe : t -> float -> unit
+end

@@ -2,12 +2,34 @@ type t = {
   table : (string, Metric.t) Hashtbl.t;
   trace : Buffer.t;
   emit_counts : (string, int ref) Hashtbl.t;
+  (* Per-shard cache of handle-resolved metrics, indexed by the global
+     handle id (see [Metrics.Handle]).  Purely an accelerator: the
+     string [table] stays the source of truth for snapshots and merges,
+     so cached and name-based access always hit the same cell.  The
+     cache lives in the shard — which is domain-local — so handle reads
+     never race across domains. *)
+  mutable cells : Metric.t option array;
 }
 
 let create () =
   { table = Hashtbl.create 64;
     trace = Buffer.create 256;
-    emit_counts = Hashtbl.create 8 }
+    emit_counts = Hashtbl.create 8;
+    cells = [||] }
+
+let[@inline] cell t ~id =
+  let cells = t.cells in
+  if id < Array.length cells then Array.unsafe_get cells id else None
+
+let set_cell t ~id m =
+  let len = Array.length t.cells in
+  if id >= len then begin
+    let ncap = max 16 (max (id + 1) (2 * len)) in
+    let cells = Array.make ncap None in
+    Array.blit t.cells 0 cells 0 len;
+    t.cells <- cells
+  end;
+  t.cells.(id) <- Some m
 
 let key = Domain.DLS.new_key create
 

@@ -47,6 +47,15 @@ val get_or_create : t -> string -> (unit -> Metric.t) -> Metric.t
 (** Existing cell if present ({e its} kind wins), else the cell built by
     the thunk, registered under the name. *)
 
+val cell : t -> id:int -> Metric.t option
+(** Handle cache: the metric resolved for handle [id] in this shard, if
+    any ({!Metrics.Handle} fills it on first touch).  Never allocates. *)
+
+val set_cell : t -> id:int -> Metric.t -> unit
+(** Cache the metric resolved for handle [id].  The metric must also
+    live in the string table — the cache is an accelerator, not a second
+    registry. *)
+
 val metrics : t -> (string * Metric.t) list
 (** Current contents, sorted by name. *)
 

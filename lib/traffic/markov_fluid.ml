@@ -57,11 +57,11 @@ let create rng p ~start =
     if r <= 0.0 then now +. 1e30 (* absorbing state: effectively never *)
     else now +. Mbac_stats.Sample.exponential rng ~mean:(1.0 /. r)
   in
-  let step ~now =
+  let step st ~now =
     state := jump_from !state;
-    (p.rates.(!state), schedule now !state)
+    let next_change = schedule now !state in
+    Source.State.set st ~rate:p.rates.(!state) ~next_change
   in
-  Source.create ~mean:(mean p) ~variance:(variance p)
-    ~rate0:p.rates.(!state)
-    ~next_change0:(schedule start !state)
-    ~step
+  let next_change0 = schedule start !state in
+  Source.create ~mean:(mean p) ~variance:(variance p) ~rate0:p.rates.(!state)
+    ~next_change0 ~step

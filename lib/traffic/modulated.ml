@@ -42,14 +42,14 @@ let create ~start schedule inner =
   (* The wrapper drives the inner source itself: on each change epoch it
      either fires the inner source or crosses a schedule switch time,
      whichever comes first. *)
-  let step ~now =
+  let step st ~now =
     let inner_next = Source.next_change inner in
     if inner_next <= now +. 1e-12 then Source.fire inner ~now;
     let factor = factor_at schedule now in
     let next =
       Float.min (Source.next_change inner) (next_switch_after schedule now)
     in
-    (factor *. Source.rate inner, next)
+    Source.State.set st ~rate:(factor *. Source.rate inner) ~next_change:next
   in
   let first_next =
     Float.min (Source.next_change inner) (next_switch_after schedule start)

@@ -14,9 +14,11 @@ let create rng p ~start =
      dynamics; only the emitted rate is clipped at 0. *)
   let x = ref (Mbac_stats.Sample.gaussian rng ~mu:p.mu ~sigma:p.sigma) in
   let emit () = Float.max 0.0 !x in
-  let step ~now =
-    x := p.mu +. (a *. (!x -. p.mu)) +. Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:s;
-    (emit (), now +. p.dt)
+  let step st ~now =
+    x :=
+      p.mu +. (a *. (!x -. p.mu))
+      +. Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:s;
+    Source.State.set st ~rate:(emit ()) ~next_change:(now +. p.dt)
   in
   Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma) ~rate0:(emit ())
     ~next_change0:(start +. p.dt) ~step

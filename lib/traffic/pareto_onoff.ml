@@ -28,11 +28,16 @@ let create rng p ~start =
     if !on then Mbac_stats.Sample.pareto rng ~shape:p.shape ~scale
     else Mbac_stats.Sample.exponential rng ~mean:p.mean_off
   in
-  let step ~now =
+  (* Sojourn drawn before the rate is read, matching the right-to-left
+     evaluation of the original tuple, so seeded streams replay
+     identically. *)
+  let step st ~now =
     on := not !on;
-    ((if !on then p.peak else 0.0), now +. sojourn ())
+    let next_change = now +. sojourn () in
+    let rate = if !on then p.peak else 0.0 in
+    Source.State.set st ~rate ~next_change
   in
-  Source.create ~mean:(mean p) ~variance:(variance p)
-    ~rate0:(if !on then p.peak else 0.0)
-    ~next_change0:(start +. sojourn ())
+  let next_change0 = start +. sojourn () in
+  let rate0 = if !on then p.peak else 0.0 in
+  Source.create ~mean:(mean p) ~variance:(variance p) ~rate0 ~next_change0
     ~step

@@ -9,14 +9,25 @@ let validate { mu; sigma; t_c } =
 
 let create rng p ~start =
   validate p;
-  let draw_rate () =
+  (* Draw order below (interval, then rate) mirrors the right-to-left
+     evaluation of the original [(draw_rate (), now +. draw_interval ())]
+     tuple, so seeded streams replay identically.  The samplers are
+     called directly (not through local closures) so they inline into
+     [step] and the renegotiation path draws without boxing. *)
+  let step st ~now =
+    let next_change =
+      now +. Mbac_stats.Sample.exponential rng ~mean:p.t_c
+    in
+    let rate =
+      Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:p.mu ~sigma:p.sigma
+    in
+    Source.State.set st ~rate ~next_change
+  in
+  let next_change0 = start +. Mbac_stats.Sample.exponential rng ~mean:p.t_c in
+  let rate0 =
     Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:p.mu ~sigma:p.sigma
   in
-  let draw_interval () = Mbac_stats.Sample.exponential rng ~mean:p.t_c in
-  let step ~now = (draw_rate (), now +. draw_interval ()) in
-  Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma)
-    ~rate0:(draw_rate ())
-    ~next_change0:(start +. draw_interval ())
+  Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma) ~rate0 ~next_change0
     ~step
 
 let autocorrelation p t = exp (-.abs_float t /. p.t_c)

@@ -1,28 +1,46 @@
+(* The mutable rate/next-change pair lives in its own all-float [State]
+   record so firing a change epoch writes unboxed doubles in place: the
+   previous formulation ([step] returning a [(rate, next)] tuple stored
+   into a mixed record) cost a tuple plus two float boxes per rate
+   change, and rate changes dominate the simulator's event mix. *)
+
+module State = struct
+  type t = {
+    mutable rate : float;
+    mutable next_change : float;
+    mutable peak_hint : float;
+  }
+
+  let[@inline] set st ~rate ~next_change =
+    st.rate <- rate;
+    st.next_change <- next_change
+end
+
 type t = {
   mean : float;
   variance : float;
-  mutable rate : float;
-  mutable next_change : float;
-  step : now:float -> float * float;
-  mutable peak_hint : float;
+  state : State.t;
+  step : State.t -> now:float -> unit;
 }
 
 let create ~mean ~variance ~rate0 ~next_change0 ~step =
   if variance < 0.0 then invalid_arg "Source.create: negative variance";
-  { mean; variance; rate = rate0; next_change = next_change0; step;
-    peak_hint = mean +. (3.0 *. sqrt variance) }
+  { mean; variance;
+    state =
+      { State.rate = rate0;
+        next_change = next_change0;
+        peak_hint = mean +. (3.0 *. sqrt variance) };
+    step }
 
-let rate t = t.rate
-let next_change t = t.next_change
+let[@inline] rate t = t.state.State.rate
+let[@inline] next_change t = t.state.State.next_change
 
 let fire t ~now =
-  assert (now >= t.next_change -. 1e-9);
-  let rate, next = t.step ~now in
-  assert (next > now);
-  t.rate <- rate;
-  t.next_change <- next
+  assert (now >= t.state.State.next_change -. 1e-9);
+  t.step t.state ~now;
+  assert (t.state.State.next_change > now)
 
 let mean t = t.mean
 let variance t = t.variance
-let peak_hint t = t.peak_hint
-let set_peak_hint t p = t.peak_hint <- p
+let peak_hint t = t.state.State.peak_hint
+let set_peak_hint t p = t.state.State.peak_hint <- p

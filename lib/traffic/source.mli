@@ -10,19 +10,29 @@
 
 type t
 
+(** The mutable part of a source, updated in place on each change epoch.
+    All-float so stores stay unboxed on the simulator's hot path. *)
+module State : sig
+  type t
+
+  val set : t -> rate:float -> next_change:float -> unit
+  (** Record the outcome of a change epoch: the new rate and the
+      {e absolute} time of the following change. *)
+end
+
 val create :
   mean:float ->
   variance:float ->
   rate0:float ->
   next_change0:float ->
-  step:(now:float -> float * float) ->
+  step:(State.t -> now:float -> unit) ->
   t
 (** [create ~mean ~variance ~rate0 ~next_change0 ~step] builds a source
     whose nominal stationary statistics are [mean]/[variance], with
-    initial rate [rate0] holding until [next_change0].  [step ~now] is
-    called each time the change epoch is reached and must return the new
-    rate together with the {e absolute} time of the following change
-    (which must exceed [now]). *)
+    initial rate [rate0] holding until [next_change0].  [step st ~now]
+    is called each time the change epoch is reached and must call
+    {!State.set} with the new rate and the absolute time of the
+    following change (which must exceed [now]). *)
 
 val rate : t -> float
 (** Current bandwidth demand. *)

@@ -23,10 +23,11 @@ let make trace ~offset ~start =
   let first_boundary =
     remaining +. (float_of_int (run_length_from !idx - 1) *. dt)
   in
-  let step ~now =
+  let step st ~now =
     idx := (!idx + run_length_from !idx) mod n;
     let run = run_length_from !idx in
-    (rates.(!idx), now +. (float_of_int run *. dt))
+    Source.State.set st ~rate:rates.(!idx)
+      ~next_change:(now +. (float_of_int run *. dt))
   in
   Source.create ~mean:(Trace.mean trace) ~variance:(Trace.variance trace)
     ~rate0:rates.(!idx)

@@ -1,0 +1,35 @@
+Perf-smoke gate: hot-path refactors must not change a single byte of
+simulation output.  Tiny fixed-seed runs whose golden output is
+committed below, re-checked at --jobs 1 and --jobs 4 (the determinism
+contract says pool width never changes results).
+
+A continuous-load replication pair:
+
+  $ mbac_sim --seed 7 --reps 2 --t-h 50 --max-events 50000 --jobs 1 | tee sim.golden
+  system: { n=100; mu=1; sigma=0.3; T_h=50; T_c=1; p_q=0.001 | c=100 alpha_q=3.09 T~_h=5 gamma=1.5 }
+  controller: robust[T_m=5,alpha_ce=3.31], source: rcbr, replications: 2
+  --- replication 0 ---
+  p_f=0.0003281 (fit, ci_rel=nan) util=0.903 mean_flows=90.2 load=90.30±2.85 adm=475 dep=386 t=214 ev=20000
+  --- replication 1 ---
+  p_f=5.764e-05 (fit, ci_rel=nan) util=0.901 mean_flows=90.4 load=90.11±2.56 adm=478 dep=388 t=212 ev=20000
+  across 2 replications (batch means, 95% CI): p_f = 0.0001929 +- 0.0017, utilization = 0.902 +- 0.012
+  theory (eqn 37 at this T_m): 0.001061
+
+  $ mbac_sim --seed 7 --reps 2 --t-h 50 --max-events 50000 --jobs 4 > sim.jobs4
+  $ cmp sim.golden sim.jobs4 && echo byte-identical
+  byte-identical
+
+An impulsive-load experiment (exercises the burst driver):
+
+  $ experiments --run prop31 --seed 7 --jobs 1 | tee exp.golden
+  
+  === prop31: Fluctuation of the admitted count M_0 (impulsive load) ===
+      n  E[(M0-n)/sqrt n] theory     sim  Std theory    sim
+  ---------------------------------------------------------
+    100                   -0.927  -0.935         0.3  0.283
+    400                   -0.927  -0.944         0.3  0.287
+  Paper: M_0 ~ n - (sigma/mu)(Y_0 + alpha_q) sqrt n; the standardized mean and std should match the theory columns.
+
+  $ experiments --run prop31 --seed 7 --jobs 4 > exp.jobs4
+  $ cmp exp.golden exp.jobs4 && echo byte-identical
+  byte-identical

@@ -29,58 +29,135 @@ let test_empty () =
   let h = Event_heap.create () in
   Alcotest.(check bool) "empty" true (Event_heap.is_empty h);
   Alcotest.(check bool) "pop none" true (Event_heap.pop h = None);
-  Alcotest.(check bool) "peek none" true (Event_heap.peek_time h = None)
+  Alcotest.(check bool) "peek none" true (Event_heap.peek_time h = None);
+  Alcotest.check_raises "min_time on empty"
+    (Invalid_argument "Event_heap.min_time: empty heap") (fun () ->
+      ignore (Event_heap.min_time h));
+  Alcotest.check_raises "drop_min on empty"
+    (Invalid_argument "Event_heap.drop_min: empty heap") (fun () ->
+      Event_heap.drop_min h)
 
 let test_peek () =
   let h = Event_heap.create () in
-  Event_heap.push h ~time:2.0 'b';
-  Event_heap.push h ~time:1.0 'a';
+  Event_heap.push h ~time:2.0 1;
+  Event_heap.push h ~time:1.0 0;
   Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (Event_heap.peek_time h);
+  Alcotest.(check (float 0.0)) "min_time" 1.0 (Event_heap.min_time h);
+  Alcotest.(check int) "min_payload" 0 (Event_heap.min_payload h);
   Alcotest.(check int) "size" 2 (Event_heap.size h)
 
 let test_clear () =
   let h = Event_heap.create () in
-  Event_heap.push h ~time:1.0 ();
+  Event_heap.push h ~time:1.0 0;
   Event_heap.clear h;
   Alcotest.(check bool) "cleared" true (Event_heap.is_empty h)
+
+let test_accessors_match_pop () =
+  (* min_time/min_payload/drop_min are the zero-allocation spelling of
+     pop; they must expose the same element. *)
+  let h = Event_heap.create () in
+  List.iteri (fun i t -> Event_heap.push h ~time:t (100 + i))
+    [ 3.0; 1.0; 2.0; 1.0 ];
+  let rec drain acc =
+    if Event_heap.is_empty h then List.rev acc
+    else begin
+      let t = Event_heap.min_time h in
+      let p = Event_heap.min_payload h in
+      Event_heap.drop_min h;
+      drain ((t, p) :: acc)
+    end
+  in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "drain via accessors"
+    [ (1.0, 101); (1.0, 103); (2.0, 102); (3.0, 100) ]
+    (drain [])
 
 let test_heap_property =
   qcheck ~count:200 "pop yields non-decreasing times"
     QCheck.(list_of_size Gen.(int_range 0 300) (float_range 0.0 1e6))
     (fun times ->
       let h = Event_heap.create () in
-      List.iter (fun t -> Event_heap.push h ~time:t ()) times;
+      List.iter (fun t -> Event_heap.push h ~time:t 0) times;
       let rec check last =
         match Event_heap.pop h with
         | None -> true
-        | Some (t, ()) -> t >= last && check t
+        | Some (t, _) -> t >= last && check t
       in
       check neg_infinity)
 
-let test_interleaved =
-  qcheck ~count:100 "interleaved push/pop matches a sorted-list model"
-    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0.0 100.0))
-    (fun times ->
+(* Differential model: a sorted association list ordered by
+   (time, insertion sequence) — the specification of the heap. *)
+module Model = struct
+  type t = (float * int * int) list ref
+  (* (time, seq, payload), sorted; seq increases with insertion order *)
+
+  let create () : t * int ref = (ref [], ref 0)
+
+  let push (m, seq) ~time payload =
+    let entry = (time, !seq, payload) in
+    incr seq;
+    (* stable insertion: an equal-time entry goes after existing ones,
+       which is exactly the FIFO tie-break *)
+    let rec insert = function
+      | [] -> [ entry ]
+      | ((t, _, _) as hd) :: tl ->
+          if time < t then entry :: hd :: tl else hd :: insert tl
+    in
+    m := insert !m
+
+  let pop (m, _) =
+    match !m with
+    | [] -> None
+    | (t, _, p) :: tl ->
+        m := tl;
+        Some (t, p)
+
+  let clear (m, _) = m := []
+  let size (m, _) = List.length !m
+end
+
+let test_differential =
+  (* Random interleaving of push/pop/clear against the sorted-list
+     model, with heavily duplicated timestamps so FIFO tie-breaking is
+     exercised on every run. *)
+  qcheck ~count:300 "random ops match sorted-list model (incl. FIFO, clear)"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 400)
+        (pair (int_range 0 20) (int_range 0 7)))
+    (fun ops ->
       let h = Event_heap.create () in
-      let model = ref [] in
+      let m = Model.create () in
       let ok = ref true in
       List.iteri
-        (fun i t ->
-          Event_heap.push h ~time:t i;
-          model := List.merge compare !model [ t ];
-          if i mod 3 = 0 then
-            match (Event_heap.pop h, !model) with
-            | Some (pt, _), m0 :: rest ->
-                if pt <> m0 then ok := false else model := rest
-            | _, _ -> ok := false)
-        times;
-      (* drain and compare the remainder *)
-      List.iter
-        (fun expected ->
-          match Event_heap.pop h with
-          | Some (pt, _) when pt = expected -> ()
-          | _ -> ok := false)
-        !model;
+        (fun i (k, op) ->
+          match op with
+          | 0 | 1 | 2 | 3 ->
+              (* push with few distinct times -> many ties *)
+              let t = float_of_int k *. 0.25 in
+              Event_heap.push h ~time:t i;
+              Model.push m ~time:t i
+          | 4 | 5 ->
+              let got = Event_heap.pop h in
+              let want = Model.pop m in
+              if got <> want then ok := false
+          | 6 ->
+              if Event_heap.size h <> Model.size m then ok := false
+          | _ ->
+              if k = 0 then begin
+                (* rare full reset *)
+                Event_heap.clear h;
+                Model.clear m
+              end)
+        ops;
+      (* drain both completely *)
+      let rec drain () =
+        let got = Event_heap.pop h in
+        let want = Model.pop m in
+        if got <> want then ok := false;
+        if got <> None && want <> None then drain ()
+      in
+      drain ();
       !ok && Event_heap.is_empty h)
 
 let test_fifo_duplicate_times =
@@ -91,65 +168,42 @@ let test_fifo_duplicate_times =
     (fun raw ->
       let times = List.map (fun k -> float_of_int k *. 0.5) raw in
       let h = Event_heap.create () in
-      List.iteri (fun i t -> Event_heap.push h ~time:t (i, t)) times;
+      List.iteri (fun i t -> Event_heap.push h ~time:t i) times;
       let expected =
         List.stable_sort
-          (fun (_, t1) (_, t2) -> compare t1 t2)
-          (List.mapi (fun i t -> (i, t)) times)
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times)
       in
       let rec drain acc =
         match Event_heap.pop h with
-        | Some (_, payload) -> drain (payload :: acc)
+        | Some (t, payload) -> drain ((t, payload) :: acc)
         | None -> List.rev acc
       in
       drain [] = expected)
 
-(* Regression: [pop] used to leave the popped entry reachable through
-   the slack slots of the backing array, pinning dead payloads for the
-   heap's lifetime. *)
-let test_pop_releases_payload () =
+let test_push_pop_interleaved_growth () =
+  (* Push enough to force several capacity doublings, interleaved with
+     pops, and verify total order at the end. *)
   let h = Event_heap.create () in
-  let w = Weak.create 3 in
-  (* Build payloads in a helper so no local survives into the GC check. *)
-  let fill () =
-    for i = 0 to 2 do
-      let payload = ref (1000 + i) in
-      Weak.set w i (Some payload);
-      Event_heap.push h ~time:(float_of_int i) payload
-    done
-  in
-  fill ();
-  for _ = 0 to 2 do
-    ignore (Event_heap.pop h)
+  let rng = Mbac_stats.Rng.create ~seed:42 in
+  let popped = ref [] in
+  for i = 0 to 9_999 do
+    Event_heap.push h ~time:(Mbac_stats.Rng.float rng) i;
+    if i mod 3 = 0 && not (Event_heap.is_empty h) then begin
+      popped := Event_heap.min_time h :: !popped;
+      Event_heap.drop_min h
+    end
   done;
-  Gc.full_major ();
-  for i = 0 to 2 do
-    Alcotest.(check bool)
-      (Printf.sprintf "payload %d collectable after pop" i)
-      false (Weak.check w i)
+  while not (Event_heap.is_empty h) do
+    popped := Event_heap.min_time h :: !popped;
+    Event_heap.drop_min h
   done;
-  (* the heap stays usable afterwards *)
-  Event_heap.push h ~time:9.0 (ref 0);
-  Alcotest.(check int) "still works" 1 (Event_heap.size h)
-
-let test_clear_releases_payload () =
-  let h = Event_heap.create () in
-  let w = Weak.create 1 in
-  let fill () =
-    let payload = ref 42 in
-    Weak.set w 0 (Some payload);
-    Event_heap.push h ~time:1.0 payload
-  in
-  fill ();
-  Event_heap.clear h;
-  Gc.full_major ();
-  Alcotest.(check bool) "payload collectable after clear" false
-    (Weak.check w 0)
+  Alcotest.(check int) "count" 10_000 (List.length !popped)
 
 let test_nan_rejected () =
   let h = Event_heap.create () in
   Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: NaN time")
-    (fun () -> Event_heap.push h ~time:nan ())
+    (fun () -> Event_heap.push h ~time:nan 0)
 
 let suite =
   [ ( "event_heap",
@@ -158,9 +212,9 @@ let suite =
         test "empty heap" test_empty;
         test "peek and size" test_peek;
         test "clear" test_clear;
+        test "zero-alloc accessors match pop" test_accessors_match_pop;
         test_heap_property;
-        test_interleaved;
+        test_differential;
         test_fifo_duplicate_times;
-        test "pop releases payloads" test_pop_releases_payload;
-        test "clear releases payloads" test_clear_releases_payload;
+        test "growth under interleaved push/pop" test_push_pop_interleaved_growth;
         test "NaN rejected" test_nan_rejected ] ) ]

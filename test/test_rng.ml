@@ -117,6 +117,71 @@ let test_derive_no_birthday_collisions () =
     | None -> Hashtbl.add seen fingerprint tag
   done
 
+(* Reference implementation of xoshiro256++ / SplitMix64 in plain
+   [int64], as the module was originally written.  The production
+   generator stores 32-bit hi/lo halves in native ints to keep the hot
+   path allocation-free; this differential check pins its output to the
+   canonical int64 formulation bit for bit. *)
+module Ref_rng = struct
+  type t = {
+    mutable s0 : int64;
+    mutable s1 : int64;
+    mutable s2 : int64;
+    mutable s3 : int64;
+  }
+
+  let splitmix64 state =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let create ~seed =
+    let state = ref (Int64.of_int seed) in
+    let s0 = splitmix64 state in
+    let s1 = splitmix64 state in
+    let s2 = splitmix64 state in
+    let s3 = splitmix64 state in
+    { s0; s1; s2; s3 }
+
+  let rotl x k =
+    Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let bits64 t =
+    let open Int64 in
+    let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+    let tmp = shift_left t.s1 17 in
+    t.s2 <- logxor t.s2 t.s0;
+    t.s3 <- logxor t.s3 t.s1;
+    t.s1 <- logxor t.s1 t.s2;
+    t.s0 <- logxor t.s0 t.s3;
+    t.s2 <- logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let float t =
+    let x = Int64.shift_right_logical (bits64 t) 11 in
+    Int64.to_float x *. 0x1.0p-53
+end
+
+let test_matches_int64_reference =
+  qcheck ~count:200 "hi/lo halves match int64 reference"
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let a = Rng.create ~seed and r = Ref_rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        if Rng.bits64 a <> Ref_rng.bits64 r then ok := false
+      done;
+      (* interleave the float path too: it must consume exactly one step
+         and produce the same 53-bit mantissa *)
+      for _ = 1 to 500 do
+        if Rng.float a <> Ref_rng.float r then ok := false
+      done;
+      Rng.bits64 a = Ref_rng.bits64 r && !ok)
+
 let suite =
   [ ( "rng",
       [ test "determinism" test_determinism;
@@ -128,6 +193,7 @@ let suite =
         test_int_bounds;
         test "int uniformity" test_int_uniform;
         test "int invalid" test_int_invalid;
+        test_matches_int64_reference;
         test "derive determinism" test_derive_deterministic;
         test "derive reads the whole tag" test_derive_full_input;
         test "derive collision resistance" test_derive_no_birthday_collisions ] ) ]
