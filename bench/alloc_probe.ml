@@ -15,16 +15,23 @@ let[@inline] keep_float i v =
 let words_per_op ~ops f =
   (* warm up: fill caches, trigger table growth *)
   f (ops / 10);
-  let before = Gc.minor_words () in
+  let minor0, promoted0, major0 = Gc.counters () in
   f ops;
-  let after = Gc.minor_words () in
-  (after -. before) /. float_of_int ops
+  let minor1, promoted1, major1 = Gc.counters () in
+  let per x0 x1 = (x1 -. x0) /. float_of_int ops in
+  (per minor0 minor1, per promoted0 promoted1, per major0 major1)
 
-let report name w = Printf.printf "  %-34s %8.2f words/op\n%!" name w
+(* Promoted words survive a minor collection (long-lived allocation:
+   growing tables, retained closures); major words are allocated directly
+   on the major heap (big arrays).  Both cost far more than minor words,
+   so a hot-path regression there matters even at small counts. *)
+let report name (minor, promoted, major) =
+  Printf.printf "  %-34s %8.2f minor %9.4f promoted %9.4f major\n%!" name
+    minor promoted major
 
 let () =
   let ops = 1_000_000 in
-  Printf.printf "minor words per operation (%d ops each):\n%!" ops;
+  Printf.printf "words per operation (%d ops each):\n%!" ops;
 
   (* RNG core *)
   let rng = Mbac_stats.Rng.create ~seed:1 in
@@ -159,6 +166,33 @@ let () =
          for _ = 1 to n do
            Mbac_telemetry.Metrics.inc "probe_string_total"
          done));
+
+  (* whole event loop: words per simulated event, end to end *)
+  let sim_events = 200_000 in
+  let run_sim n =
+    let cfg =
+      { (Mbac_sim.Continuous_load.default_config ~capacity:100.0
+           ~holding_time_mean:1000.0 ~target_p_q:1e-3)
+        with
+        Mbac_sim.Continuous_load.max_events = n;
+        warmup = 10.0;
+        batch_length = 100.0;
+        check_every_events = max_int }
+    in
+    let controller =
+      Mbac.Controller.with_memory ~capacity:100.0 ~p_ce:1e-3 ~t_m:100.0
+    in
+    let rng = Mbac_stats.Rng.create ~seed:11 in
+    ignore
+      (Mbac_sim.Continuous_load.run rng cfg ~controller
+         ~make_source:(fun rng ~start ->
+           Mbac_traffic.Rcbr.create rng
+             (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+             ~start))
+  in
+  Printf.printf "words per simulated event (%d events):\n%!" sim_events;
+  report "continuous-load event loop"
+    (words_per_op ~ops:sim_events (fun n -> run_sim n));
 
   ignore !macc;
   Printf.printf "done (acc=%g)\n" (Float.Array.get facc 0)

@@ -332,16 +332,269 @@ let run_scaling fmt =
   in
   (1, base, 1.0) :: rest
 
+(* ---------- Rare-event gate (--rare) ---------- *)
+
+(* How many events must a naive time-fraction estimate simulate per digit
+   of confidence at a deep tail, versus the splitting engine?  The gate
+   system is the deep-tail Fig 5 cell (n = 100, p_q = 1e-5, T_m = 10)
+   whose true p_f sits near 1e-5.  Naive MC cannot reach a 10% CI there
+   in any reasonable budget, so it runs to a fixed budget and its cost at
+   the target CI is extrapolated by (achieved/target)^2 — CI half-width
+   shrinks with the square root of the effort.  Splitting doubles its
+   per-level trials until the measured CI is at or under target.
+   [--toy] substitutes a seconds-scale system (shallower tail, small
+   budgets) for smoke coverage; its ratio is not the gate. *)
+
+type rare_numbers = {
+  r_toy : bool;
+  r_target_ci : float;
+  r_p_f : float;
+  r_ci_rel : float;
+  r_events : int;
+  r_trials : int;
+  r_naive_p_f : float;
+  r_naive_ci_rel : float;
+  r_naive_events : int;
+  r_naive_events_extrapolated : float;
+  r_events_ratio : float;
+  r_theory : float;
+}
+
+let run_rare fmt ~toy =
+  Format.fprintf fmt "@.=== Rare-event gate (multilevel splitting vs naive \
+                      MC)%s ===@."
+    (if toy then " [toy]" else "");
+  let p =
+    if toy then
+      Mbac.Params.make ~n:30.0 ~mu:1.0 ~sigma:0.3 ~t_h:50.0 ~t_c:1.0
+        ~p_q:1e-3
+    else
+      Mbac.Params.make ~n:100.0 ~mu:1.0 ~sigma:0.3 ~t_h:1000.0 ~t_c:1.0
+        ~p_q:1e-5
+  in
+  let t_m = if toy then Mbac.Params.t_h_tilde p else 10.0 in
+  let alpha = Mbac.Params.alpha_q p in
+  let capacity = Mbac.Params.capacity p in
+  let target_ci = if toy then 0.5 else 0.1 in
+  let naive_budget = if toy then 400_000 else 24_000_000 in
+  let base_cfg =
+    Mbac_experiments.Common.sim_config ~profile:Mbac_experiments.Common.Quick
+      ~p ~t_m
+  in
+  (* naive: fixed event budget, no early stop, direct batch-means CI *)
+  let naive_cfg =
+    { base_cfg with
+      Mbac_sim.Continuous_load.max_events = naive_budget;
+      check_every_events = max_int;
+      max_time = infinity }
+  in
+  let controller () =
+    Mbac_experiments.Common.ce_controller ~capacity ~t_m ~alpha_ce:alpha
+  in
+  let make_source = Mbac_experiments.Common.rcbr_factory ~p in
+  let naive =
+    Mbac_sim.Continuous_load.run
+      (Mbac_stats.Rng.derive ~seed:11 ~tag:"bench-rare-naive")
+      naive_cfg ~controller:(controller ()) ~make_source
+  in
+  let naive_events = naive.Mbac_sim.Continuous_load.events in
+  let naive_ci = naive.Mbac_sim.Continuous_load.ci_rel in
+  Format.fprintf fmt
+    "  naive MC:      p_f = %-10.4g ci_rel = %-8.3g (%d events)@."
+    naive.Mbac_sim.Continuous_load.p_f naive_ci naive_events;
+  let naive_extrapolated =
+    if Float.is_nan naive_ci || naive_ci <= 0.0 then nan
+    else if naive_ci <= target_ci then float_of_int naive_events
+    else
+      float_of_int naive_events *. (naive_ci /. target_ci)
+      *. (naive_ci /. target_ci)
+  in
+  if naive_ci > target_ci then
+    Format.fprintf fmt
+    "    -> %.3g events extrapolated to reach ci_rel = %g@."
+      naive_extrapolated target_ci;
+  (* splitting: double the per-level effort until the CI target holds *)
+  let pilot_time =
+    if toy then 400.0
+    else 100.0 *. base_cfg.Mbac_sim.Continuous_load.batch_length
+  in
+  let trials0 = if toy then 256 else 1024 in
+  let max_trials = if toy then 512 else 16_384 in
+  let split_cfg trials =
+    { (Mbac_sim.Splitting.default_config ~pilot_time) with
+      Mbac_sim.Splitting.trials_per_level = trials;
+      levels = (if toy then 4 else 6);
+      seed_tag = "bench-rare" }
+  in
+  let rec ladder trials =
+    let r =
+      Mbac_sim.Splitting.run ~seed:11 (split_cfg trials) base_cfg
+        ~controller:(controller ()) ~make_source
+    in
+    Format.fprintf fmt
+      "  splitting:     p_f = %-10.4g ci_rel = %-8.3g (%d events, %d \
+       trials/level)@."
+      r.Mbac_sim.Splitting.p_f r.Mbac_sim.Splitting.ci_rel
+      r.Mbac_sim.Splitting.total_events trials;
+    if r.Mbac_sim.Splitting.ci_rel <= target_ci || trials >= max_trials
+    then (r, trials)
+    else ladder (2 * trials)
+  in
+  let split, trials = ladder trials0 in
+  let ratio =
+    naive_extrapolated /. float_of_int split.Mbac_sim.Splitting.total_events
+  in
+  let theory =
+    Mbac.Memory_formula.overflow_cached ~p ~t_m ~alpha_ce:alpha
+  in
+  Format.fprintf fmt
+    "  theory (eqn 37): %.4g;  events ratio (naive at ci_rel = %g / \
+     splitting): x%.1f@."
+    theory target_ci ratio;
+  if not toy then
+    Format.fprintf fmt "  gate (ci_rel <= %g and ratio >= 20): %s@."
+      target_ci
+      (if split.Mbac_sim.Splitting.ci_rel <= target_ci && ratio >= 20.0
+       then "PASS"
+       else "FAIL");
+  { r_toy = toy;
+    r_target_ci = target_ci;
+    r_p_f = split.Mbac_sim.Splitting.p_f;
+    r_ci_rel = split.Mbac_sim.Splitting.ci_rel;
+    r_events = split.Mbac_sim.Splitting.total_events;
+    r_trials = trials;
+    r_naive_p_f = naive.Mbac_sim.Continuous_load.p_f;
+    r_naive_ci_rel = naive_ci;
+    r_naive_events = naive_events;
+    r_naive_events_extrapolated = naive_extrapolated;
+    r_events_ratio = ratio;
+    r_theory = theory }
+
 (* ---------- BENCH.json ---------- *)
 
-let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath =
+(* BENCH.json is self-written single-line JSON, so a string-literal-aware
+   bracket scan is enough to lift a top-level key's raw value from the
+   previous run — no JSON parser in the tree, and none needed.  Sections
+   a given invocation does not re-measure (e.g. micro when only --rare
+   ran) are carried forward, and every run appends a summary line to the
+   "history" array, keyed by git describe + profile, so the performance
+   trajectory accumulates across commits. *)
+
+let extract_raw ~key text =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let n = String.length text in
+  let len = String.length needle in
+  let pos = ref (-1) in
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  let i = ref 0 in
+  while !pos < 0 && !i < n do
+    let c = text.[!i] in
+    if !in_str then begin
+      if !esc then esc := false
+      else if c = '\\' then esc := true
+      else if c = '"' then in_str := false
+    end
+    else begin
+      match c with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | '"' ->
+          if !depth = 1 && !i + len <= n && String.sub text !i len = needle
+          then pos := !i + len
+          else in_str := true
+      | _ -> ()
+    end;
+    incr i
+  done;
+  if !pos < 0 then None
+  else begin
+    let start = !pos in
+    let j = ref start and d = ref 0 in
+    let in_str = ref false and esc = ref false in
+    let stop = ref (-1) in
+    while !stop < 0 && !j < n do
+      let c = text.[!j] in
+      if !in_str then begin
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+      end
+      else begin
+        match c with
+        | '{' | '[' -> incr d
+        | '}' | ']' -> if !d = 0 then stop := !j else decr d
+        | ',' -> if !d = 0 then stop := !j
+        | '"' -> in_str := true
+        | _ -> ()
+      end;
+      if !stop < 0 then incr j
+    done;
+    let stop = if !stop < 0 then n else !stop in
+    Some (String.trim (String.sub text start (stop - start)))
+  end
+
+(* split a raw array body at top-level commas *)
+let split_top text =
+  let n = String.length text in
+  let items = ref [] in
+  let start = ref 0 in
+  let d = ref 0 and in_str = ref false and esc = ref false in
+  for i = 0 to n - 1 do
+    let c = text.[i] in
+    if !in_str then begin
+      if !esc then esc := false
+      else if c = '\\' then esc := true
+      else if c = '"' then in_str := false
+    end
+    else
+      match c with
+      | '{' | '[' -> incr d
+      | '}' | ']' -> decr d
+      | '"' -> in_str := true
+      | ',' when !d = 0 ->
+          items := String.sub text !start (i - !start) :: !items;
+          start := i + 1
+      | _ -> ()
+  done;
+  if !start < n then items := String.sub text !start (n - !start) :: !items;
+  List.rev_map String.trim !items |> List.rev
+  |> List.filter (fun s -> s <> "")
+
+let read_file path =
+  try Some (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error _ -> None
+
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let history_cap = 50
+
+let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
   let open Mbac_telemetry.Json in
   let fnan v = if Float.is_nan v then "null" else float v in
+  let previous = read_file path in
+  let carry key rendered =
+    match rendered with
+    | Some j -> j
+    | None -> (
+        match previous with
+        | None -> "null"
+        | Some text -> (
+            match extract_raw ~key text with Some v -> v | None -> "null"))
+  in
   let hotpath_json =
     match hotpath with
-    | None -> "null"
+    | None -> None
     | Some h ->
-        obj
+        Some
+          (obj
           [ ("events", int h.hp_events);
             ("events_per_sec", fnan h.hp_events_per_sec);
             ("minor_words_per_event", fnan h.hp_minor_words_per_event);
@@ -356,22 +609,84 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath =
             ("speedup_vs_baseline",
              if baseline_events_per_sec > 0.0 then
                fnan (h.hp_events_per_sec /. baseline_events_per_sec)
-             else "null") ]
+             else "null") ])
   in
   let micro_json =
-    arr
-      (List.map
-         (fun (name, ns) -> obj [ ("name", string name); ("ns_per_run", float ns) ])
-         micro)
+    Option.map
+      (fun rows ->
+        arr
+          (List.map
+             (fun (name, ns) ->
+               obj [ ("name", string name); ("ns_per_run", float ns) ])
+             rows))
+      micro
   in
   let scaling_json =
-    arr
-      (List.map
-         (fun (jobs, ns, speedup) ->
-           obj
-             [ ("jobs", int jobs); ("ns_per_run", float ns);
-               ("speedup", float speedup) ])
-         scaling)
+    Option.map
+      (fun rows ->
+        arr
+          (List.map
+             (fun (jobs, ns, speedup) ->
+               obj
+                 [ ("jobs", int jobs); ("ns_per_run", float ns);
+                   ("speedup", float speedup) ])
+             rows))
+      scaling
+  in
+  let rare_json =
+    Option.map
+      (fun r ->
+        obj
+          [ ("toy", bool r.r_toy);
+            ("target_ci_rel", float r.r_target_ci);
+            ("splitting",
+             obj
+               [ ("p_f", fnan r.r_p_f);
+                 ("ci_rel", fnan r.r_ci_rel);
+                 ("events", int r.r_events);
+                 ("trials_per_level", int r.r_trials) ]);
+            ("naive",
+             obj
+               [ ("p_f", fnan r.r_naive_p_f);
+                 ("ci_rel", fnan r.r_naive_ci_rel);
+                 ("events", int r.r_naive_events);
+                 ("events_extrapolated_at_target",
+                  fnan r.r_naive_events_extrapolated) ]);
+            ("events_ratio", fnan r.r_events_ratio);
+            ("theory_eqn37", fnan r.r_theory) ])
+      rare
+  in
+  let history_json =
+    let prev_items =
+      match previous with
+      | None -> []
+      | Some text -> (
+          match extract_raw ~key:"history" text with
+          | Some raw
+            when String.length raw >= 2
+                 && raw.[0] = '['
+                 && raw.[String.length raw - 1] = ']' ->
+              split_top (String.sub raw 1 (String.length raw - 2))
+          | Some _ | None -> [])
+    in
+    let entry =
+      obj
+        [ ("describe", string (git_describe ()));
+          ("profile", string (profile_name profile));
+          ("reproduction_ns",
+           match repro_ns with Some ns -> float ns | None -> "null");
+          ("hotpath_events_per_sec",
+           match hotpath with
+           | Some h -> fnan h.hp_events_per_sec
+           | None -> "null");
+          ("rare_events_ratio",
+           match rare with Some r -> fnan r.r_events_ratio | None -> "null")
+        ]
+    in
+    let items = prev_items @ [ entry ] in
+    let n = List.length items in
+    arr (if n > history_cap then List.filteri (fun i _ -> i >= n - history_cap) items
+         else items)
   in
   let doc =
     obj
@@ -379,9 +694,11 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath =
         ("profile", string (profile_name profile));
         ("reproduction_ns",
          match repro_ns with Some ns -> float ns | None -> "null");
-        ("micro", micro_json);
-        ("scaling", scaling_json);
-        ("hotpath", hotpath_json) ]
+        ("micro", carry "micro" micro_json);
+        ("scaling", carry "scaling" scaling_json);
+        ("hotpath", carry "hotpath" hotpath_json);
+        ("rare", carry "rare" rare_json);
+        ("history", history_json) ]
   in
   let oc = open_out path in
   output_string oc doc;
@@ -394,6 +711,8 @@ let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") argv in
   let scaling_only = Array.exists (fun a -> a = "--scaling") argv in
   let hotpath_only = Array.exists (fun a -> a = "--hotpath") argv in
+  let rare_only = Array.exists (fun a -> a = "--rare") argv in
+  let toy = Array.exists (fun a -> a = "--toy") argv in
   let arg_value name =
     let v = ref None in
     Array.iteri
@@ -428,18 +747,22 @@ let () =
   let fmt = Format.std_formatter in
   let now () = Int64.to_float (Monotonic_clock.now ()) in
   let repro_ns = ref None in
-  let micro = ref [] in
+  let micro = ref None in
   let hotpath = ref None in
+  let rare = ref None in
   if hotpath_only then hotpath := Some (run_hotpath fmt)
+  else if rare_only then rare := Some (run_rare fmt ~toy)
   else if not scaling_only then begin
     let t0 = now () in
     run_reproduction ~profile fmt;
     repro_ns := Some (now () -. t0);
-    if not skip_micro then micro := run_micro fmt
+    if not skip_micro then micro := Some (run_micro fmt)
   end;
-  let scaling = if hotpath_only then [] else run_scaling fmt in
+  let scaling =
+    if hotpath_only || rare_only then None else Some (run_scaling fmt)
+  in
   write_bench_json ~path:json_path ~profile ~repro_ns:!repro_ns ~micro:!micro
-    ~scaling ~hotpath:!hotpath;
+    ~scaling ~hotpath:!hotpath ~rare:!rare;
   Format.fprintf fmt "@.bench: wrote %s@." json_path;
   (match metrics_out with
   | Some path ->

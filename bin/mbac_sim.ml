@@ -7,7 +7,8 @@ open Cmdliner
 type source_kind = Rcbr | Onoff | Ou | Lrd
 
 let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
-    max_events seed reps jobs tele =
+    max_events seed reps jobs rare_event rare_levels rare_base rare_trials
+    rare_pilot tele =
   let sigma = sigma_ratio *. mu in
   let p = Mbac.Params.make ~n ~mu ~sigma ~t_h ~t_c ~p_q in
   let capacity = Mbac.Params.capacity p in
@@ -92,6 +93,37 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
           max_events }
       in
       Format.printf "system: %a@." Mbac.Params.pp p;
+      if rare_event then begin
+        (* Multilevel-splitting estimate of the deep tail; replications
+           do not apply (the engine parallelizes its own clone trials). *)
+        let pilot_time =
+          match rare_pilot with Some v -> v | None -> 200.0 *. batch
+        in
+        let scfg =
+          { (Mbac_sim.Splitting.default_config ~pilot_time) with
+            Mbac_sim.Splitting.levels = rare_levels;
+            base_level = rare_base;
+            trials_per_level = rare_trials }
+        in
+        Format.printf
+          "controller: %s, source: %s, rare-event splitting: levels=%d \
+           base=%g trials=%d pilot=%g@."
+          (Mbac.Controller.name (make_controller ()))
+          (match source_kind with
+          | Rcbr -> "rcbr" | Onoff -> "onoff" | Ou -> "ou" | Lrd -> "lrd")
+          rare_levels rare_base rare_trials pilot_time;
+        let res =
+          Mbac_sim.Splitting.run ~jobs ~seed scfg cfg
+            ~controller:(make_controller ()) ~make_source
+        in
+        Format.printf "%a@." Mbac_sim.Splitting.pp_result res;
+        Format.printf "theory (eqn 37 at this T_m): %.4g@."
+          (Mbac.Memory_formula.overflow_cached ~p ~t_m
+             ~alpha_ce:(Mbac.Params.alpha_q p));
+        Mbac_telemetry_cli.Flags.finish tele;
+        Ok ()
+      end
+      else begin
       Format.printf "controller: %s, source: %s, replications: %d@."
         (Mbac.Controller.name (make_controller ()))
         (match source_kind with
@@ -143,6 +175,7 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
            ~alpha_ce:(Mbac.Params.alpha_q p));
       Mbac_telemetry_cli.Flags.finish tele;
       Ok ()
+      end
 
 let source_conv =
   let parse = function
@@ -195,6 +228,24 @@ let cmd =
              & info [ "jobs"; "j" ] ~docv:"N"
                  ~doc:"Worker domains for the replications (default: number \
                        of cores).  Output is identical for every value.")
+      $ Arg.(value & flag
+             & info [ "rare-event" ]
+                 ~doc:"Estimate the deep-tail overflow probability with \
+                       multilevel importance splitting instead of a direct \
+                       run.  Ignores --reps; --jobs parallelizes clone \
+                       trials with bit-identical output.")
+      $ Arg.(value & opt int 6
+             & info [ "rare-levels" ] ~docv:"K"
+                 ~doc:"Splitting thresholds between base and capacity.")
+      $ fopt "rare-base" 0.25
+          "Excursion base as a fraction of the mean-to-capacity gap."
+      $ Arg.(value & opt int 2048
+             & info [ "rare-trials" ] ~docv:"N"
+                 ~doc:"Clone trials per splitting level.")
+      $ Arg.(value & opt (some float) None
+             & info [ "rare-pilot-time" ] ~docv:"T"
+                 ~doc:"Pilot collection window in simulated time (default: \
+                       200 batch lengths).")
       $ Mbac_telemetry_cli.Flags.term)
   in
   Cmd.v

@@ -5,6 +5,7 @@ type t = {
   on_admit : Observation.t -> unit;
   on_depart : Observation.t -> unit;
   reset : unit -> unit;
+  copy : unit -> t;
 }
 
 let name t = t.name
@@ -13,6 +14,7 @@ let admissible t obs = t.admissible obs
 let on_admit t obs = t.on_admit obs
 let on_depart t obs = t.on_depart obs
 let reset t = t.reset ()
+let copy t = t.copy ()
 
 let nop (_ : Observation.t) = ()
 
@@ -44,20 +46,34 @@ let instrument ~name admissible obs =
          Mbac_telemetry.Trace.Float (sqrt (Observation.cross_variance obs))) ];
   m
 
-let make ?(on_admit = nop) ?(on_depart = nop) ?(reset = fun () -> ()) ~name
-    ~observe ~admissible () =
+let make ?(on_admit = nop) ?(on_depart = nop) ?(reset = fun () -> ()) ?copy
+    ~name ~observe ~admissible () =
+  let copy =
+    match copy with
+    | Some f -> f
+    | None ->
+        fun () ->
+          invalid_arg
+            (Printf.sprintf
+               "Controller.copy: controller %S was built without ~copy" name)
+  in
   { name; observe; admissible = instrument ~name admissible;
-    on_admit; on_depart; reset }
+    on_admit; on_depart; reset; copy }
 
 let check_p_ce p_ce =
   if not (p_ce > 0.0 && p_ce <= 0.5) then
     invalid_arg "Controller: requires 0 < p_ce <= 0.5"
 
-let perfect p =
-  let m = Criterion.m_star p in
-  make ~name:"perfect" ~observe:nop ~admissible:(fun _ -> m) ()
+(* Controllers hide their mutable state in closures (estimators, refs),
+   so each scheme provides ~copy by re-invoking its own constructor on a
+   deep copy of that state — copies of copies then work for free. *)
 
-let certainty_equivalent ~capacity ~p_ce estimator =
+let rec perfect p =
+  let m = Criterion.m_star p in
+  make ~name:"perfect" ~observe:nop ~admissible:(fun _ -> m)
+    ~copy:(fun () -> perfect p) ()
+
+let rec certainty_equivalent ~capacity ~p_ce estimator =
   check_p_ce p_ce;
   let alpha = Mbac_stats.Gaussian.q_inv p_ce in
   let admissible obs =
@@ -74,6 +90,8 @@ let certainty_equivalent ~capacity ~p_ce estimator =
     ~observe:(Estimator.observe estimator)
     ~admissible
     ~reset:(fun () -> Estimator.reset estimator)
+    ~copy:(fun () ->
+      certainty_equivalent ~capacity ~p_ce (Estimator.copy estimator))
     ()
 
 let memoryless ~capacity ~p_ce =
@@ -89,24 +107,28 @@ let robust p =
      alpha_ce = 0 would mean p_ce = 0.5; never run below the QoS target. *)
   let alpha_ce = Float.max alpha_ce (Params.alpha_q p) in
   let capacity = Params.capacity p in
-  let estimator = Estimator.ewma ~t_m in
-  let admissible obs =
-    match Estimator.current estimator with
-    | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
-        Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat)
-          ~alpha:alpha_ce
-    | Some _ | None -> Observation.count obs + 1
+  let rec build estimator =
+    let admissible obs =
+      match Estimator.current estimator with
+      | Some { Estimator.mu_hat; var_hat } when mu_hat > 0.0 ->
+          Criterion.admissible ~capacity ~mu:mu_hat ~sigma:(sqrt var_hat)
+            ~alpha:alpha_ce
+      | Some _ | None -> Observation.count obs + 1
+    in
+    make
+      ~name:(Printf.sprintf "robust[T_m=%.3g,alpha_ce=%.3g]" t_m alpha_ce)
+      ~observe:(Estimator.observe estimator)
+      ~admissible
+      ~reset:(fun () -> Estimator.reset estimator)
+      ~copy:(fun () -> build (Estimator.copy estimator))
+      ()
   in
-  make
-    ~name:(Printf.sprintf "robust[T_m=%.3g,alpha_ce=%.3g]" t_m alpha_ce)
-    ~observe:(Estimator.observe estimator)
-    ~admissible
-    ~reset:(fun () -> Estimator.reset estimator)
-    ()
+  build (Estimator.ewma ~t_m)
 
-let peak_rate ~capacity ~peak =
+let rec peak_rate ~capacity ~peak =
   let m = Criterion.peak_rate_count ~capacity ~peak in
-  make ~name:"peak-rate" ~observe:nop ~admissible:(fun _ -> m) ()
+  make ~name:"peak-rate" ~observe:nop ~admissible:(fun _ -> m)
+    ~copy:(fun () -> peak_rate ~capacity ~peak) ()
 
 (* Windowed maximum via rotating sub-blocks: the window is divided into
    [n_blocks] sub-intervals; we keep the max of each and report the max
@@ -139,6 +161,10 @@ module Windowed_max = struct
 
   let current s = Array.fold_left Float.max neg_infinity s.maxima
 
+  let copy s =
+    { block_len = s.block_len; maxima = Array.copy s.maxima; head = s.head;
+      block_end = s.block_end; started = s.started }
+
   let reset s =
     Array.fill s.maxima 0 (Array.length s.maxima) neg_infinity;
     s.head <- 0;
@@ -150,26 +176,30 @@ let measured_sum ~capacity ~utilization_target ~window ~peak =
     invalid_arg "Controller.measured_sum: utilization_target outside (0,1]";
   if window <= 0.0 then invalid_arg "Controller.measured_sum: window <= 0";
   if peak <= 0.0 then invalid_arg "Controller.measured_sum: peak <= 0";
-  let wm = Windowed_max.create ~window ~n_blocks:8 in
-  let observe obs =
-    Windowed_max.add wm ~now:obs.Observation.now obs.Observation.sum_rate
+  let rec build wm =
+    let observe obs =
+      Windowed_max.add wm ~now:obs.Observation.now obs.Observation.sum_rate
+    in
+    let admissible obs =
+      let max_load = Windowed_max.current wm in
+      if max_load = neg_infinity then Observation.count obs + 1
+      else begin
+        let headroom = (utilization_target *. capacity) -. max_load in
+        if headroom < peak then Observation.count obs
+        else Observation.count obs + int_of_float (headroom /. peak)
+      end
+    in
+    make
+      ~name:
+        (Printf.sprintf "measured-sum[u=%.2f,T=%g]" utilization_target window)
+      ~observe ~admissible
+      ~reset:(fun () -> Windowed_max.reset wm)
+      ~copy:(fun () -> build (Windowed_max.copy wm))
+      ()
   in
-  let admissible obs =
-    let max_load = Windowed_max.current wm in
-    if max_load = neg_infinity then Observation.count obs + 1
-    else begin
-      let headroom = (utilization_target *. capacity) -. max_load in
-      if headroom < peak then Observation.count obs
-      else Observation.count obs + int_of_float (headroom /. peak)
-    end
-  in
-  make
-    ~name:(Printf.sprintf "measured-sum[u=%.2f,T=%g]" utilization_target window)
-    ~observe ~admissible
-    ~reset:(fun () -> Windowed_max.reset wm)
-    ()
+  build (Windowed_max.create ~window ~n_blocks:8)
 
-let hoeffding ~capacity ~p_ce ~peak estimator =
+let rec hoeffding ~capacity ~p_ce ~peak estimator =
   check_p_ce p_ce;
   if peak <= 0.0 then invalid_arg "Controller.hoeffding: peak <= 0";
   (* M mu + b sqrt M <= c with b = peak sqrt(ln(1/p)/2): same quadratic as
@@ -186,9 +216,10 @@ let hoeffding ~capacity ~p_ce ~peak estimator =
     ~observe:(Estimator.observe estimator)
     ~admissible
     ~reset:(fun () -> Estimator.reset estimator)
+    ~copy:(fun () -> hoeffding ~capacity ~p_ce ~peak (Estimator.copy estimator))
     ()
 
-let chernoff ~capacity ~p_ce estimator =
+let rec chernoff ~capacity ~p_ce estimator =
   check_p_ce p_ce;
   let alpha = Effective_bandwidth.gaussian_alpha_of_p p_ce in
   let admissible obs =
@@ -202,6 +233,7 @@ let chernoff ~capacity ~p_ce estimator =
     ~observe:(Estimator.observe estimator)
     ~admissible
     ~reset:(fun () -> Estimator.reset estimator)
+    ~copy:(fun () -> chernoff ~capacity ~p_ce (Estimator.copy estimator))
     ()
 
 let gkk ~capacity ~p_ce ~prior_mu ~prior_var ~prior_weight =
@@ -209,37 +241,41 @@ let gkk ~capacity ~p_ce ~prior_mu ~prior_var ~prior_weight =
   if not (prior_weight >= 0.0 && prior_weight <= 1.0) then
     invalid_arg "Controller.gkk: prior_weight outside [0,1]";
   let alpha = Mbac_stats.Gaussian.q_inv p_ce in
-  let estimator = Estimator.memoryless () in
   (* "One out, one in": after the criterion rejects (system judged full),
      no further admissions until a departure frees a slot.  This damps
      the admission rate when the system hovers at the boundary. *)
-  let blocked = ref false in
-  let admissible obs =
-    if !blocked then Observation.count obs
-    else begin
-      let m =
-        match Estimator.current estimator with
-        | Some { Estimator.mu_hat; var_hat } ->
-            let mu =
-              (prior_weight *. prior_mu) +. ((1.0 -. prior_weight) *. mu_hat)
-            in
-            let var =
-              (prior_weight *. prior_var) +. ((1.0 -. prior_weight) *. var_hat)
-            in
-            if mu <= 0.0 then Observation.count obs + 1
-            else Criterion.admissible ~capacity ~mu ~sigma:(sqrt var) ~alpha
-        | None -> Observation.count obs + 1
-      in
-      if m <= Observation.count obs then blocked := true;
-      m
-    end
+  let rec build ~blocked0 estimator =
+    let blocked = ref blocked0 in
+    let admissible obs =
+      if !blocked then Observation.count obs
+      else begin
+        let m =
+          match Estimator.current estimator with
+          | Some { Estimator.mu_hat; var_hat } ->
+              let mu =
+                (prior_weight *. prior_mu) +. ((1.0 -. prior_weight) *. mu_hat)
+              in
+              let var =
+                (prior_weight *. prior_var)
+                +. ((1.0 -. prior_weight) *. var_hat)
+              in
+              if mu <= 0.0 then Observation.count obs + 1
+              else Criterion.admissible ~capacity ~mu ~sigma:(sqrt var) ~alpha
+          | None -> Observation.count obs + 1
+        in
+        if m <= Observation.count obs then blocked := true;
+        m
+      end
+    in
+    make
+      ~name:(Printf.sprintf "gkk[w=%.2f]" prior_weight)
+      ~observe:(Estimator.observe estimator)
+      ~admissible
+      ~on_depart:(fun _ -> blocked := false)
+      ~reset:(fun () ->
+        blocked := false;
+        Estimator.reset estimator)
+      ~copy:(fun () -> build ~blocked0:!blocked (Estimator.copy estimator))
+      ()
   in
-  make
-    ~name:(Printf.sprintf "gkk[w=%.2f]" prior_weight)
-    ~observe:(Estimator.observe estimator)
-    ~admissible
-    ~on_depart:(fun _ -> blocked := false)
-    ~reset:(fun () ->
-      blocked := false;
-      Estimator.reset estimator)
-    ()
+  build ~blocked0:false (Estimator.memoryless ())

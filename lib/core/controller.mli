@@ -24,10 +24,20 @@ val on_admit : t -> Observation.t -> unit
 val on_depart : t -> Observation.t -> unit
 val reset : t -> unit
 
+val copy : t -> t
+(** Independent deep copy of the controller and its accumulated state
+    (estimator memory, windowed maxima, back-off flags); original and
+    copy evolve separately from the split point.  Used by the
+    simulator's snapshot/restore (rare-event splitting).  All schemes
+    below support it.
+    @raise Invalid_argument for a custom {!make} controller built
+    without [~copy]. *)
+
 val make :
   ?on_admit:(Observation.t -> unit) ->
   ?on_depart:(Observation.t -> unit) ->
   ?reset:(unit -> unit) ->
+  ?copy:(unit -> t) ->
   name:string ->
   observe:(Observation.t -> unit) ->
   admissible:(Observation.t -> int) ->

@@ -5,12 +5,22 @@ type t = {
   observe : Observation.t -> unit;
   current : unit -> estimate option;
   reset : unit -> unit;
+  copy : unit -> t;
 }
 
 let name t = t.name
 let observe t obs = t.observe obs
 let current t = t.current ()
 let reset t = t.reset ()
+let copy t = t.copy ()
+
+(* Estimator state hides inside the closures, so each constructor below
+   is written as a recursive [build] over its (copied) hidden state:
+   [copy] duplicates the state and rebuilds the closures around the
+   duplicate.  Copies of copies work for free. *)
+
+let rec rename name e =
+  { e with name; copy = (fun () -> rename name (e.copy ())) }
 
 (* Each estimator returns the same physical [Some estimate] from
    [current], refreshed in place — a decision per simulation event must
@@ -24,20 +34,27 @@ let cache () =
 let memoryless () =
   (* The latest cross-section, reduced at observe time to the two
      numbers [current] needs, stored unboxed. *)
-  let est, some_est = cache () in
-  let have = ref false in
-  {
-    name = "memoryless";
-    observe =
-      (fun obs ->
-        if obs.Observation.n >= 1.0 then begin
-          est.mu_hat <- Observation.cross_mean obs;
-          est.var_hat <- Observation.cross_variance obs;
-          have := true
-        end);
-    current = (fun () -> if !have then some_est else None);
-    reset = (fun () -> have := false);
-  }
+  let rec build ~mu0 ~var0 ~have0 =
+    let est, some_est = cache () in
+    est.mu_hat <- mu0;
+    est.var_hat <- var0;
+    let have = ref have0 in
+    {
+      name = "memoryless";
+      observe =
+        (fun obs ->
+          if obs.Observation.n >= 1.0 then begin
+            est.mu_hat <- Observation.cross_mean obs;
+            est.var_hat <- Observation.cross_variance obs;
+            have := true
+          end);
+      current = (fun () -> if !have then some_est else None);
+      reset = (fun () -> have := false);
+      copy =
+        (fun () -> build ~mu0:est.mu_hat ~var0:est.var_hat ~have0:!have);
+    }
+  in
+  build ~mu0:0.0 ~var0:0.0 ~have0:false
 
 (* Exact advance of the first-order filter over a piecewise-constant input:
    while the input holds value [x], est(t + dt) = x + (est(t) - x) e^{-dt/Tm}.
@@ -52,13 +69,10 @@ type ewma_state = {
 
 let ewma ~t_m =
   if t_m < 0.0 then invalid_arg "Estimator.ewma: requires t_m >= 0";
-  if t_m = 0.0 then { (memoryless ()) with name = "ewma(0)" }
+  if t_m = 0.0 then rename "ewma(0)" (memoryless ())
   else begin
-    let s =
-      { last_time = 0.0; in_mu = 0.0; in_var = 0.0; est_mu = 0.0;
-        est_var = 0.0 }
-    in
-    let initialized = ref false in
+    let rec build s initialized0 =
+    let initialized = ref initialized0 in
     let est, some_est = cache () in
     let observe obs =
       if obs.Observation.n >= 1.0 then begin
@@ -91,7 +105,19 @@ let ewma ~t_m =
       else None
     in
     let reset () = initialized := false in
-    { name = Printf.sprintf "ewma(T_m=%g)" t_m; observe; current; reset }
+    let copy () =
+      build
+        { last_time = s.last_time; in_mu = s.in_mu; in_var = s.in_var;
+          est_mu = s.est_mu; est_var = s.est_var }
+        !initialized
+    in
+    { name = Printf.sprintf "ewma(T_m=%g)" t_m; observe; current; reset;
+      copy }
+    in
+    build
+      { last_time = 0.0; in_mu = 0.0; in_var = 0.0; est_mu = 0.0;
+        est_var = 0.0 }
+      false
   end
 
 (* Sliding time window: a ring buffer of constant-signal segments plus
@@ -137,16 +163,24 @@ let window_grow s =
   s.vs <- copy s.vs;
   s.head <- 0
 
+let floatarray_dup a =
+  let n = Float.Array.length a in
+  let b = Float.Array.create n in
+  Float.Array.blit a 0 b 0 n;
+  b
+
+let window_dup s =
+  { have_input = s.have_input; head = s.head; len = s.len;
+    t0s = floatarray_dup s.t0s; t1s = floatarray_dup s.t1s;
+    xs = floatarray_dup s.xs; vs = floatarray_dup s.vs;
+    sums =
+      { last_time = s.sums.last_time; in_mu = s.sums.in_mu;
+        in_var = s.sums.in_var; int_mu = s.sums.int_mu;
+        int_var = s.sums.int_var; covered = s.sums.covered } }
+
 let sliding_window ~t_w =
   if t_w <= 0.0 then invalid_arg "Estimator.sliding_window: requires t_w > 0";
-  let s =
-    { have_input = false; head = 0; len = 0;
-      t0s = Float.Array.create 0; t1s = Float.Array.create 0;
-      xs = Float.Array.create 0; vs = Float.Array.create 0;
-      sums =
-        { last_time = 0.0; in_mu = 0.0; in_var = 0.0;
-          int_mu = 0.0; int_var = 0.0; covered = 0.0 } }
-  in
+  let rec build s =
   let evict ~now =
     let cutoff = now -. t_w in
     let continue = ref true in
@@ -223,7 +257,16 @@ let sliding_window ~t_w =
     s.sums.int_var <- 0.0;
     s.sums.covered <- 0.0
   in
-  { name = Printf.sprintf "window(T_w=%g)" t_w; observe; current; reset }
+  { name = Printf.sprintf "window(T_w=%g)" t_w; observe; current; reset;
+    copy = (fun () -> build (window_dup s)) }
+  in
+  build
+    { have_input = false; head = 0; len = 0;
+      t0s = Float.Array.create 0; t1s = Float.Array.create 0;
+      xs = Float.Array.create 0; vs = Float.Array.create 0;
+      sums =
+        { last_time = 0.0; in_mu = 0.0; in_var = 0.0;
+          int_mu = 0.0; int_var = 0.0; covered = 0.0 } }
 
 (* Aggregate-only estimation (§7): the controller sees the aggregate rate
    and the flow count but not per-flow rates.  The per-flow mean follows
@@ -240,8 +283,8 @@ type aggregate_state = {
 
 let aggregate_only ~t_m =
   if t_m <= 0.0 then invalid_arg "Estimator.aggregate_only: requires t_m > 0";
-  let s = { t_last = 0.0; in_x = 0.0; m1 = 0.0; m2 = 0.0; last_n = 0.0 } in
-  let init = ref false in
+  let rec build s init0 =
+  let init = ref init0 in
   let est, some_est = cache () in
   let observe obs =
     if obs.Observation.n >= 1.0 then begin
@@ -274,4 +317,13 @@ let aggregate_only ~t_m =
     end
   in
   let reset () = init := false in
-  { name = Printf.sprintf "aggregate(T_m=%g)" t_m; observe; current; reset }
+  let copy () =
+    build
+      { t_last = s.t_last; in_x = s.in_x; m1 = s.m1; m2 = s.m2;
+        last_n = s.last_n }
+      !init
+  in
+  { name = Printf.sprintf "aggregate(T_m=%g)" t_m; observe; current; reset;
+    copy }
+  in
+  build { t_last = 0.0; in_x = 0.0; m1 = 0.0; m2 = 0.0; last_n = 0.0 } false

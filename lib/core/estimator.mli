@@ -26,6 +26,11 @@ val current : t -> estimate option
 
 val reset : t -> unit
 
+val copy : t -> t
+(** Independent deep copy of the estimator and its accumulated state;
+    the original and the copy evolve separately from the split point.
+    Used by the simulator's snapshot/restore (rare-event splitting). *)
+
 val memoryless : unit -> t
 (** The paper's memoryless estimator (eqns (7)/(23)): the estimate is the
     cross-sectional mean/variance of the {e latest} observation. *)

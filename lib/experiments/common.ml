@@ -61,13 +61,13 @@ let rcbr_factory ~p rng ~start =
       t_c = p.Mbac.Params.t_c }
     ~start
 
-let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
-  let capacity = Mbac.Params.capacity p in
+let ce_controller ~capacity ~t_m ~alpha_ce =
   let p_ce = Mbac_stats.Gaussian.q alpha_ce in
   (* Extremely small adjusted targets underflow Q; the criterion only needs
-     alpha, so build the controller directly from the estimator. *)
-  let estimator = Mbac.Estimator.ewma ~t_m in
-  let controller =
+     alpha, so build the controller directly from the estimator.  The
+     recursive build gives the controller a [copy] (needed by the
+     rare-event splitting engine's clone trials). *)
+  let rec build estimator =
     Mbac.Controller.make
       ~name:(Printf.sprintf "ce[t_m=%g,alpha=%.3g,p_ce=%.3g]" t_m alpha_ce p_ce)
       ~observe:(Mbac.Estimator.observe estimator)
@@ -78,11 +78,37 @@ let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
               ~sigma:(sqrt var_hat) ~alpha:alpha_ce
         | Some _ | None -> Mbac.Observation.count obs + 1)
       ~reset:(fun () -> Mbac.Estimator.reset estimator)
+      ~copy:(fun () -> build (Mbac.Estimator.copy estimator))
       ()
   in
+  build (Mbac.Estimator.ewma ~t_m)
+
+let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
+  let capacity = Mbac.Params.capacity p in
+  let controller = ce_controller ~capacity ~t_m ~alpha_ce in
   let cfg = sim_config ~profile ~p ~t_m in
   Mbac_telemetry.Profile.span "experiments.run_mbac" (fun () ->
       Mbac_sim.Continuous_load.run (rng_for tag) cfg ~controller
+        ~make_source:(rcbr_factory ~p))
+
+let run_mbac_rare ~profile ~p ~t_m ~alpha_ce ~tag =
+  let capacity = Mbac.Params.capacity p in
+  let controller = ce_controller ~capacity ~t_m ~alpha_ce in
+  let cfg = sim_config ~profile ~p ~t_m in
+  let trials, pilot_batches =
+    match profile with Quick -> (1024, 100.0) | Full -> (8192, 1000.0)
+  in
+  let scfg =
+    { (Mbac_sim.Splitting.default_config
+         ~pilot_time:(pilot_batches *. cfg.Mbac_sim.Continuous_load.batch_length))
+      with
+      Mbac_sim.Splitting.trials_per_level = trials;
+      seed_tag = tag }
+  in
+  (* Cells run sequentially; the engine parallelizes its own clone
+     trials over the worker pool (results independent of [!jobs]). *)
+  Mbac_telemetry.Profile.span "experiments.run_mbac_rare" (fun () ->
+      Mbac_sim.Splitting.run ~jobs:!jobs ~seed:!seed scfg cfg ~controller
         ~make_source:(rcbr_factory ~p))
 
 let csv_dir = ref None

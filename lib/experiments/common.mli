@@ -54,6 +54,12 @@ val rcbr_factory :
   Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t
 (** RCBR source factory matching the Params (the paper's §5.2 sources). *)
 
+val ce_controller :
+  capacity:float -> t_m:float -> alpha_ce:float -> Mbac.Controller.t
+(** The certainty-equivalent MBAC used by the sweeps: EWMA estimator
+    with memory [t_m], Gaussian criterion at [alpha_ce].  Supports
+    {!Mbac.Controller.copy} (so it works under {!Mbac_sim.Splitting}). *)
+
 val run_mbac :
   profile:profile ->
   p:Mbac.Params.t ->
@@ -63,6 +69,19 @@ val run_mbac :
   Mbac_sim.Continuous_load.result
 (** Simulate the certainty-equivalent MBAC with memory [t_m] at target
     [alpha_ce] on RCBR traffic defined by [p]. *)
+
+val run_mbac_rare :
+  profile:profile ->
+  p:Mbac.Params.t ->
+  t_m:float ->
+  alpha_ce:float ->
+  tag:string ->
+  Mbac_sim.Splitting.result
+(** Deep-tail variant of {!run_mbac}: estimate the same system's
+    overflow probability with the multilevel-splitting engine
+    ({!Mbac_sim.Splitting}) instead of a direct run.  Call cells
+    sequentially — the engine parallelizes its own clone trials over
+    [!jobs] workers (bit-identical for every value). *)
 
 (** {1 Report formatting} *)
 

@@ -42,6 +42,8 @@ let all =
       simulation = true; run = Exp_service_models.run };
     { id = "nonstat"; title = "non-stationary traffic vs estimator memory";
       simulation = true; run = Exp_nonstat.run };
+    { id = "deeptail"; title = "deep-tail splitting sweeps (p_q = 1e-5)";
+      simulation = true; run = Exp_deeptail.run };
     { id = "utility"; title = "utility-based QoS metrics (§7 extension)";
       simulation = true; run = Exp_utility.run } ]
 

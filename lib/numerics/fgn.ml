@@ -3,12 +3,27 @@ let fgn_autocovariance ~hurst k =
   let kf = float_of_int (abs k) in
   0.5 *. (((kf +. 1.0) ** h2) -. (2.0 *. (kf ** h2)) +. (abs_float (kf -. 1.0) ** h2))
 
-let generate rng ~hurst ~n =
+(* A plan caches everything about a (hurst, n) pair that does not depend
+   on the RNG: the circulant eigenvalue spectrum (one covariance row +
+   one FFT, the dominant setup cost) and the two scratch vectors the
+   synthesis FFT runs in.  [m = 0] is the white-noise (hurst = 1/2)
+   sentinel — no embedding needed. *)
+type plan = {
+  hurst : float;
+  n : int;
+  m : int;
+  size : int;
+  lambda : float array;
+  wr : float array;
+  wi : float array;
+}
+
+let plan ~hurst ~n =
   if not (hurst > 0.0 && hurst < 1.0) then
-    invalid_arg "Fgn.generate: requires 0 < hurst < 1";
-  if n <= 0 then invalid_arg "Fgn.generate: requires n > 0";
+    invalid_arg "Fgn.plan: requires 0 < hurst < 1";
+  if n <= 0 then invalid_arg "Fgn.plan: requires n > 0";
   if hurst = 0.5 then
-    Array.init n (fun _ -> Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:1.0)
+    { hurst; n; m = 0; size = 0; lambda = [||]; wr = [||]; wi = [||] }
   else begin
     (* Circulant embedding of the (n x n) Toeplitz covariance into a
        (2m)-circulant, m >= n a power of two so the FFT applies. *)
@@ -25,8 +40,18 @@ let generate rng ~hurst ~n =
     (* Eigenvalues of the circulant = DFT of the first row; real and (for
        fGn) non-negative.  Clip roundoff negatives. *)
     let lambda = Array.map (fun x -> if x < 0.0 then 0.0 else x) re in
-    (* Build the complex Gaussian vector with the right covariance. *)
-    let wr = Array.make size 0.0 and wi = Array.make size 0.0 in
+    { hurst; n; m; size; lambda;
+      wr = Array.make size 0.0; wi = Array.make size 0.0 }
+  end
+
+let generate_with plan rng =
+  if plan.m = 0 then
+    Array.init plan.n (fun _ -> Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:1.0)
+  else begin
+    let { m; size; lambda; wr; wi; _ } = plan in
+    (* Build the complex Gaussian vector with the right covariance.  The
+       loop writes every entry of the scratch vectors, so reuse needs no
+       clearing. *)
     let g () = Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:1.0 in
     let scale = 1.0 /. sqrt (float_of_int size) in
     wr.(0) <- sqrt lambda.(0) *. g () *. scale;
@@ -42,8 +67,30 @@ let generate rng ~hurst ~n =
       wi.(size - k) <- -.s *. b
     done;
     Fft.fft ~re:wr ~im:wi;
-    Array.sub wr 0 n
+    Array.sub wr 0 plan.n
   end
+
+let generate rng ~hurst ~n =
+  if not (hurst > 0.0 && hurst < 1.0) then
+    invalid_arg "Fgn.generate: requires 0 < hurst < 1";
+  if n <= 0 then invalid_arg "Fgn.generate: requires n > 0";
+  generate_with (plan ~hurst ~n) rng
+
+(* Per-domain plan memo: plans own mutable scratch, so they must not be
+   shared across domains — each domain gets its own small cache. *)
+let plan_cache : (float * int, plan) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let cached_plan ~hurst ~n =
+  let tbl = Domain.DLS.get plan_cache in
+  match Hashtbl.find_opt tbl (hurst, n) with
+  | Some p -> p
+  | None ->
+      let p = plan ~hurst ~n in
+      (* bound the cache: sweeps use a handful of (hurst, n) pairs *)
+      if Hashtbl.length tbl >= 32 then Hashtbl.reset tbl;
+      Hashtbl.add tbl (hurst, n) p;
+      p
 
 let fbm_of_fgn increments =
   let n = Array.length increments in

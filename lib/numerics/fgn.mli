@@ -8,12 +8,33 @@ val fgn_autocovariance : hurst:float -> int -> float
 (** [fgn_autocovariance ~hurst k] is the lag-[k] autocovariance of
     unit-variance fGn: (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}) / 2. *)
 
+type plan
+(** Precomputed synthesis state for one [(hurst, n)] pair: the circulant
+    eigenvalue spectrum (one covariance row + one FFT — the dominant
+    setup cost) plus the scratch vectors the synthesis FFT runs in.
+    Plans own mutable scratch: do not share one across domains, and do
+    not call {!generate_with} on the same plan concurrently. *)
+
+val plan : hurst:float -> n:int -> plan
+(** @raise Invalid_argument if [hurst] is outside (0,1) or [n <= 0]. *)
+
+val cached_plan : hurst:float -> n:int -> plan
+(** Like {!plan}, but memoized per domain (so repeated synthesis of the
+    same shape — e.g. a sweep generating many traces — pays the spectrum
+    FFT once).  The returned plan is safe within the calling domain
+    only. *)
+
+val generate_with : plan -> Mbac_stats.Rng.t -> float array
+(** Draw [n] samples using the plan's cached spectrum and scratch.
+    Bit-identical to {!generate} for the same RNG state. *)
+
 val generate : Mbac_stats.Rng.t -> hurst:float -> n:int -> float array
 (** [generate rng ~hurst ~n] draws [n] samples of zero-mean, unit-variance
     fractional Gaussian noise with Hurst parameter [hurst] in (0, 1).
     Exact in distribution (up to the non-negativity of the circulant
     eigenvalues, which holds for fGn; tiny negative eigenvalues from
-    roundoff are clipped to 0).
+    roundoff are clipped to 0).  Equivalent to
+    [generate_with (plan ~hurst ~n) rng].
     @raise Invalid_argument if [hurst] is outside (0,1) or [n <= 0]. *)
 
 val fbm_of_fgn : float array -> float array

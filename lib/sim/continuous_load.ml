@@ -429,7 +429,14 @@ let process_event s =
     handle_depart s (payload_slot payload) (payload_gen payload)
   else handle_arrival s
 
-let run rng cfg ~controller ~make_source =
+(* ------------------------------------------------------------------ *)
+(* Stepping API: the same machinery as [run], exposed one event at a
+   time so the rare-event splitting engine can watch the load between
+   events and snapshot/clone mid-run. *)
+
+type sim = state
+
+let start rng cfg ~controller ~make_source =
   if cfg.capacity <= 0.0 then invalid_arg "Continuous_load.run: capacity <= 0";
   if cfg.holding_time_mean <= 0.0 then
     invalid_arg "Continuous_load.run: holding_time_mean <= 0";
@@ -473,15 +480,79 @@ let run rng cfg ~controller ~make_source =
        Event_heap.push s.heap
          ~time:(Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
          tag_arrive);
+  s
+
+let[@inline] now s = s.hot.now
+let[@inline] load s = s.hot.sum_rate
+let[@inline] flows s = s.n
+let[@inline] events_processed s = s.events
+let[@inline] has_pending s = not (Event_heap.is_empty s.heap)
+let measurement s = s.meas
+
+let[@inline] step s =
+  process_event s;
+  s.events <- s.events + 1;
+  if s.events mod 4_000_000 = 0 then resync_sums s
+
+(* Deep copy.  Everything mutable is duplicated; [cfg] and [make_source]
+   are immutable/stateless and shared.  Every source in the clone is
+   re-bound to the clone's [rng] — the same single stream that
+   [admit_one] hands to future sources — so a clone's randomness is
+   fully determined by the [rng] passed here. *)
+let clone s ~rng =
+  { cfg = s.cfg; rng;
+    controller = Mbac.Controller.copy s.controller;
+    make_source = s.make_source;
+    heap = Event_heap.copy s.heap;
+    granted =
+      (let len = Float.Array.length s.granted in
+       let g = Float.Array.create len in
+       Float.Array.blit s.granted 0 g 0 len;
+       g);
+    sources =
+      Array.map
+        (function
+          | None -> None
+          | Some src -> Some (Mbac_traffic.Source.copy src rng))
+        s.sources;
+    gens = Array.copy s.gens;
+    free = Array.copy s.free;
+    free_top = s.free_top;
+    slot_limit = s.slot_limit;
+    meas = Measurement.copy s.meas;
+    buffer = Option.map Fluid_buffer.copy s.buffer;
+    utility_stats = Mbac_stats.Welford.Weighted.copy s.utility_stats;
+    flow_count_stats = Mbac_stats.Welford.Weighted.copy s.flow_count_stats;
+    hot =
+      { now = s.hot.now; sum_rate = s.hot.sum_rate; sum_sq = s.hot.sum_sq;
+        ovf_start = s.hot.ovf_start; ovf_excess = s.hot.ovf_excess;
+        ovf_time = s.hot.ovf_time; next_snapshot = s.hot.next_snapshot };
+    n = s.n; admitted = s.admitted; departed = s.departed;
+    blocked = s.blocked; reneg_attempts = s.reneg_attempts;
+    reneg_failures = s.reneg_failures; events = s.events;
+    ovf_episodes = s.ovf_episodes }
+
+type snapshot = state
+
+let snapshot s = clone s ~rng:(Mbac_stats.Rng.copy s.rng)
+
+let restore ?rng snap =
+  let rng =
+    match rng with
+    | Some r -> r
+    | None -> Mbac_stats.Rng.copy snap.rng
+  in
+  clone snap ~rng
+
+let run rng cfg ~controller ~make_source =
+  let s = start rng cfg ~controller ~make_source in
   let stopped = ref None in
   let running = ref true in
   while !running do
     if Event_heap.is_empty s.heap then
       running := false (* cannot happen while flows exist *)
     else begin
-      process_event s;
-      s.events <- s.events + 1;
-      if s.events mod 4_000_000 = 0 then resync_sums s;
+      step s;
       if s.events mod cfg.check_every_events = 0 then begin
         match
           Measurement.check_stop ~confidence:cfg.confidence ~rel_ci:cfg.rel_ci

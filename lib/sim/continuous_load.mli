@@ -97,3 +97,63 @@ val run :
     Deterministic given the RNG state. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Stepping and snapshot/restore}
+
+    The same machinery as {!run}, exposed one event at a time, plus a
+    deep-copy snapshot/restore used by the rare-event splitting engine
+    ({!Splitting}).  A [sim] owns mutable state throughout: the event
+    heap, the dense flow table, the per-source sampler closures, the
+    controller's estimator memory, and the measurement accumulators.
+
+    {b Aliasing contract}: {!snapshot} and {!restore} each take a full
+    deep copy, so a snapshot is immutable-in-practice (nothing aliases
+    the live sim) and every restore yields an independent sim — clones
+    never share mutable state with each other or with the parent.  The
+    only shared values are immutable ones: [config], the [make_source]
+    factory, and read-only model parameters inside source closures
+    (e.g. a trace's rate array).  A [make_source] that captures mutable
+    state outside the [rng] it is given breaks this contract. *)
+
+type sim
+
+val start :
+  Mbac_stats.Rng.t ->
+  config ->
+  controller:Mbac.Controller.t ->
+  make_source:(Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t) ->
+  sim
+(** Validate, reset the controller, and perform the initial admissions
+    (or schedule the first Poisson arrival) exactly as {!run} does.
+    [run] is [start] plus a {!step} loop with the stopping rules. *)
+
+val step : sim -> unit
+(** Process the earliest pending event: account the constant-load
+    segment up to its time, then fire it (rate change, departure, or
+    arrival, including any consequent admissions).
+    @raise Invalid_argument if no event is pending (see
+    {!has_pending}; cannot happen while flows exist). *)
+
+val now : sim -> float
+val load : sim -> float
+(** Current aggregate bandwidth demand (piecewise constant between
+    events: the value returned held since the last {!step}). *)
+
+val flows : sim -> int
+val events_processed : sim -> int
+val has_pending : sim -> bool
+val measurement : sim -> Measurement.t
+(** The live overflow measurement (shared, not a copy). *)
+
+type snapshot
+
+val snapshot : sim -> snapshot
+(** Deep copy of the full simulator state.  The live sim can keep
+    running; the snapshot is unaffected. *)
+
+val restore : ?rng:Mbac_stats.Rng.t -> snapshot -> sim
+(** A fresh, independent sim continuing from the snapshot.  Every
+    restore deep-copies again, so restoring the same snapshot twice
+    yields two non-interfering sims.  [rng] replaces the random stream
+    for all future draws (sources are re-bound to it); by default the
+    clone replays the parent's stream from the snapshot point. *)

@@ -27,6 +27,17 @@ let create () =
 let size t = t.size
 let is_empty t = t.size = 0
 
+(* Capacity is trimmed to [size]: a snapshot that is cloned many times
+   should not carry the parent's amortized-doubling slack. *)
+let copy t =
+  let times = Float.Array.create t.size in
+  Float.Array.blit t.times 0 times 0 t.size;
+  { times;
+    seqs = Array.sub t.seqs 0 t.size;
+    payloads = Array.sub t.payloads 0 t.size;
+    size = t.size;
+    next_seq = t.next_seq }
+
 (* Earlier time wins; equal times fall back to insertion order (FIFO),
    which keeps runs deterministic. *)
 let[@inline] before t i j =

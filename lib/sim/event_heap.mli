@@ -14,6 +14,10 @@ val create : unit -> t
 val size : t -> int
 val is_empty : t -> bool
 
+val copy : t -> t
+(** Independent deep copy of the pending events, including the sequence
+    counter (so tie-breaking in the copy replays identically). *)
+
 val push : t -> time:float -> int -> unit
 (** @raise Invalid_argument on NaN time. *)
 

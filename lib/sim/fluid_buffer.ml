@@ -21,6 +21,12 @@ let create ~capacity ~size =
 
 let level t = t.level
 
+let copy t =
+  { capacity = t.capacity; size = t.size; level = t.level;
+    total_time = t.total_time; loss_time = t.loss_time; lost = t.lost;
+    offered = t.offered; losing = t.losing;
+    loss_episodes = t.loss_episodes }
+
 let feed t ~duration ~load =
   if duration < 0.0 then invalid_arg "Fluid_buffer.feed: negative duration";
   if duration > 0.0 then begin

@@ -12,6 +12,9 @@ val create : capacity:float -> size:float -> t
 
 val level : t -> float
 
+val copy : t -> t
+(** Independent deep copy (for simulator snapshot/restore). *)
+
 val feed : t -> duration:float -> load:float -> unit
 (** Advance time by [duration] with a constant input rate [load].
     Handles the fill-to-full and drain-to-empty transitions within the

@@ -61,6 +61,15 @@ let[@inline] record t ~t0 ~t1 ~load =
     end
   end
 
+let copy t =
+  { capacity = t.capacity; warmup = t.warmup;
+    batch = Mbac_stats.Batch_means.copy t.batch;
+    load_stats = Mbac_stats.Welford.Weighted.copy t.load_stats;
+    hot = { time = t.hot.time; next_sample = t.hot.next_sample };
+    sample_spacing = t.sample_spacing;
+    samples = t.samples;
+    sample_hits = t.sample_hits }
+
 let measured_time t = t.hot.time
 
 let point_fraction t =

@@ -24,6 +24,9 @@ val create :
     @raise Invalid_argument on non-positive capacity/batch_length/
     sample_spacing or negative warmup. *)
 
+val copy : t -> t
+(** Independent deep copy (for simulator snapshot/restore). *)
+
 val record : t -> t0:float -> t1:float -> load:float -> unit
 (** Account for a constant [load] on [t0, t1).  Portions before the
     warmup deadline are discarded (segments straddling it are split). *)

@@ -51,6 +51,13 @@ let[@inline] add t ~weight x =
     else spill t ~weight x
   end
 
+(* [batches] is an immutable list, so sharing the spine is safe; only the
+   open-batch accumulator needs duplicating. *)
+let copy t =
+  { batch_length = t.batch_length;
+    acc = { weight = t.acc.weight; sum = t.acc.sum };
+    batches = t.batches; n_batches = t.n_batches }
+
 let completed_batches t = t.n_batches
 
 let batch_means t = Array.of_list (List.rev t.batches)

@@ -16,6 +16,9 @@ val add : t -> weight:float -> float -> unit
     A single observation heavier than the remaining batch capacity is split
     across consecutive batches. *)
 
+val copy : t -> t
+(** Independent deep copy (for simulator snapshot/restore). *)
+
 val completed_batches : t -> int
 
 val mean : t -> float

@@ -47,4 +47,5 @@ module Weighted = struct
   let mean t = t.mean
   let variance t = if t.w <= 0.0 then 0.0 else t.s /. t.w
   let std t = sqrt (variance t)
+  let copy t = { w = t.w; mean = t.mean; s = t.s }
 end

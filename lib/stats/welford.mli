@@ -35,4 +35,7 @@ module Weighted : sig
   (** Weighted population variance (weights treated as frequencies/time). *)
 
   val std : t -> float
+
+  val copy : t -> t
+  (** Independent deep copy (for simulator snapshot/restore). *)
 end

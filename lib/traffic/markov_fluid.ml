@@ -43,25 +43,30 @@ let create rng p ~start =
   validate p;
   let k = Array.length p.generator in
   let pi = stationary p in
-  let state = ref (Mbac_stats.Sample.categorical rng ~weights:pi) in
   let hold_rate i = -.p.generator.(i).(i) in
-  let jump_from i =
-    (* choose the next state proportionally to the off-diagonal rates *)
-    let weights =
-      Array.init k (fun j -> if j = i then 0.0 else p.generator.(i).(j))
-    in
-    Mbac_stats.Sample.categorical rng ~weights
-  in
-  let schedule now i =
+  let schedule rng now i =
     let r = hold_rate i in
     if r <= 0.0 then now +. 1e30 (* absorbing state: effectively never *)
     else now +. Mbac_stats.Sample.exponential rng ~mean:(1.0 /. r)
   in
-  let step st ~now =
-    state := jump_from !state;
-    let next_change = schedule now !state in
-    Source.State.set st ~rate:p.rates.(!state) ~next_change
+  let rec build rng state ~rate0 ~next_change0 =
+    let jump_from i =
+      (* choose the next state proportionally to the off-diagonal rates *)
+      let weights =
+        Array.init k (fun j -> if j = i then 0.0 else p.generator.(i).(j))
+      in
+      Mbac_stats.Sample.categorical rng ~weights
+    in
+    let step st ~now =
+      state := jump_from !state;
+      let next_change = schedule rng now !state in
+      Source.State.set st ~rate:p.rates.(!state) ~next_change
+    in
+    Source.create ~mean:(mean p) ~variance:(variance p) ~rate0 ~next_change0
+      ~step
+      ~copy:(fun rng' -> build rng' (ref !state) ~rate0 ~next_change0)
+      ()
   in
-  let next_change0 = schedule start !state in
-  Source.create ~mean:(mean p) ~variance:(variance p) ~rate0:p.rates.(!state)
-    ~next_change0 ~step
+  let state = ref (Mbac_stats.Sample.categorical rng ~weights:pi) in
+  let next_change0 = schedule rng start !state in
+  build rng state ~rate0:p.rates.(!state) ~next_change0

@@ -42,20 +42,25 @@ let create ~start schedule inner =
   (* The wrapper drives the inner source itself: on each change epoch it
      either fires the inner source or crosses a schedule switch time,
      whichever comes first. *)
-  let step st ~now =
-    let inner_next = Source.next_change inner in
-    if inner_next <= now +. 1e-12 then Source.fire inner ~now;
-    let factor = factor_at schedule now in
-    let next =
-      Float.min (Source.next_change inner) (next_switch_after schedule now)
+  let rec build inner ~rate0 ~next_change0 =
+    let step st ~now =
+      let inner_next = Source.next_change inner in
+      if inner_next <= now +. 1e-12 then Source.fire inner ~now;
+      let factor = factor_at schedule now in
+      let next =
+        Float.min (Source.next_change inner) (next_switch_after schedule now)
+      in
+      Source.State.set st ~rate:(factor *. Source.rate inner)
+        ~next_change:next
     in
-    Source.State.set st ~rate:(factor *. Source.rate inner) ~next_change:next
+    Source.create
+      ~mean:(f0 *. Source.mean inner)
+      ~variance:(f0 *. f0 *. Source.variance inner)
+      ~rate0 ~next_change0 ~step
+      ~copy:(fun rng -> build (Source.copy inner rng) ~rate0 ~next_change0)
+      ()
   in
   let first_next =
     Float.min (Source.next_change inner) (next_switch_after schedule start)
   in
-  Source.create
-    ~mean:(f0 *. Source.mean inner)
-    ~variance:(f0 *. f0 *. Source.variance inner)
-    ~rate0:(f0 *. Source.rate inner)
-    ~next_change0:first_next ~step
+  build inner ~rate0:(f0 *. Source.rate inner) ~next_change0:first_next

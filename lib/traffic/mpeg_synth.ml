@@ -26,8 +26,15 @@ let validate p =
 let generate rng p ~frames =
   validate p;
   if frames <= 0 then invalid_arg "Mpeg_synth.generate: requires frames > 0";
-  (* 1. LRD base: lognormal transform of fGn -> skewed, long-memory. *)
-  let fgn = Mbac_numerics.Fgn.generate rng ~hurst:p.hurst ~n:frames in
+  (* 1. LRD base: lognormal transform of fGn -> skewed, long-memory.
+     The plan (spectrum + scratch) is memoized per (hurst, frames) per
+     domain, so generating many traces of one shape pays the setup FFT
+     once. *)
+  let fgn =
+    Mbac_numerics.Fgn.generate_with
+      (Mbac_numerics.Fgn.cached_plan ~hurst:p.hurst ~n:frames)
+      rng
+  in
   let base = Array.map (fun z -> exp (0.5 *. z)) fgn in
   (* 2. Scene levels: piecewise-constant lognormal multipliers. *)
   let scene = Array.make frames 1.0 in

@@ -16,21 +16,30 @@ let autocorrelation p t =
 
 let create rng p ~start =
   validate p;
+  let rec build rng on ~rate0 ~next_change0 =
+    let sojourn () =
+      Mbac_stats.Sample.exponential rng
+        ~mean:(if !on then p.mean_on else p.mean_off)
+    in
+    (* Sojourn drawn before the rate is read, matching the right-to-left
+       evaluation of the original tuple, so seeded streams replay
+       identically. *)
+    let step st ~now =
+      on := not !on;
+      let next_change = now +. sojourn () in
+      let rate = if !on then p.peak else 0.0 in
+      Source.State.set st ~rate ~next_change
+    in
+    Source.create ~mean:(mean p) ~variance:(variance p) ~rate0 ~next_change0
+      ~step
+      ~copy:(fun rng' -> build rng' (ref !on) ~rate0 ~next_change0)
+      ()
+  in
   let on = ref (Mbac_stats.Sample.bernoulli rng ~p:(p_on p)) in
-  let sojourn () =
+  let sojourn0 =
     Mbac_stats.Sample.exponential rng
       ~mean:(if !on then p.mean_on else p.mean_off)
   in
-  (* Sojourn drawn before the rate is read, matching the right-to-left
-     evaluation of the original tuple, so seeded streams replay
-     identically. *)
-  let step st ~now =
-    on := not !on;
-    let next_change = now +. sojourn () in
-    let rate = if !on then p.peak else 0.0 in
-    Source.State.set st ~rate ~next_change
-  in
-  let next_change0 = start +. sojourn () in
+  let next_change0 = start +. sojourn0 in
   let rate0 = if !on then p.peak else 0.0 in
-  Source.create ~mean:(mean p) ~variance:(variance p) ~rate0 ~next_change0
-    ~step
+  build rng on ~rate0 ~next_change0

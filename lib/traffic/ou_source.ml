@@ -12,13 +12,17 @@ let create rng p ~start =
   let s = p.sigma *. sqrt (1.0 -. (a *. a)) in
   (* The OU state is kept un-clipped so the clipping does not distort the
      dynamics; only the emitted rate is clipped at 0. *)
-  let x = ref (Mbac_stats.Sample.gaussian rng ~mu:p.mu ~sigma:p.sigma) in
-  let emit () = Float.max 0.0 !x in
-  let step st ~now =
-    x :=
-      p.mu +. (a *. (!x -. p.mu))
-      +. Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:s;
-    Source.State.set st ~rate:(emit ()) ~next_change:(now +. p.dt)
+  let rec build rng x ~rate0 ~next_change0 =
+    let step st ~now =
+      x :=
+        p.mu +. (a *. (!x -. p.mu))
+        +. Mbac_stats.Sample.gaussian rng ~mu:0.0 ~sigma:s;
+      Source.State.set st ~rate:(Float.max 0.0 !x) ~next_change:(now +. p.dt)
+    in
+    Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma) ~rate0
+      ~next_change0 ~step
+      ~copy:(fun rng' -> build rng' (ref !x) ~rate0 ~next_change0)
+      ()
   in
-  Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma) ~rate0:(emit ())
-    ~next_change0:(start +. p.dt) ~step
+  let x = ref (Mbac_stats.Sample.gaussian rng ~mu:p.mu ~sigma:p.sigma) in
+  build rng x ~rate0:(Float.max 0.0 !x) ~next_change0:(start +. p.dt)

@@ -14,20 +14,26 @@ let create rng p ~start =
      tuple, so seeded streams replay identically.  The samplers are
      called directly (not through local closures) so they inline into
      [step] and the renegotiation path draws without boxing. *)
-  let step st ~now =
-    let next_change =
-      now +. Mbac_stats.Sample.exponential rng ~mean:p.t_c
+  let rec build rng ~rate0 ~next_change0 =
+    let step st ~now =
+      let next_change =
+        now +. Mbac_stats.Sample.exponential rng ~mean:p.t_c
+      in
+      let rate =
+        Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:p.mu
+          ~sigma:p.sigma
+      in
+      Source.State.set st ~rate ~next_change
     in
-    let rate =
-      Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:p.mu ~sigma:p.sigma
-    in
-    Source.State.set st ~rate ~next_change
+    Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma) ~rate0
+      ~next_change0 ~step
+      ~copy:(fun rng' -> build rng' ~rate0 ~next_change0)
+      ()
   in
   let next_change0 = start +. Mbac_stats.Sample.exponential rng ~mean:p.t_c in
   let rate0 =
     Mbac_stats.Sample.gaussian_truncated_nonneg rng ~mu:p.mu ~sigma:p.sigma
   in
-  Source.create ~mean:p.mu ~variance:(p.sigma *. p.sigma) ~rate0 ~next_change0
-    ~step
+  build rng ~rate0 ~next_change0
 
 let autocorrelation p t = exp (-.abs_float t /. p.t_c)

@@ -21,16 +21,34 @@ type t = {
   variance : float;
   state : State.t;
   step : State.t -> now:float -> unit;
+  copy : Mbac_stats.Rng.t -> t;
 }
 
-let create ~mean ~variance ~rate0 ~next_change0 ~step =
+let create ?copy ~mean ~variance ~rate0 ~next_change0 ~step () =
   if variance < 0.0 then invalid_arg "Source.create: negative variance";
+  let copy =
+    match copy with
+    | Some f -> f
+    | None ->
+        fun _ -> invalid_arg "Source.copy: source was built without ~copy"
+  in
   { mean; variance;
     state =
       { State.rate = rate0;
         next_change = next_change0;
         peak_hint = mean +. (3.0 *. sqrt variance) };
-    step }
+    step; copy }
+
+(* The model's [copy] rebuilds the step closure around its duplicated
+   hidden state and the clone's RNG, but cannot see this module's
+   [State]; the visible rate/next-change/peak-hint are carried over
+   here.  The clone must not draw from either RNG during construction. *)
+let copy t rng =
+  let t' = t.copy rng in
+  t'.state.State.rate <- t.state.State.rate;
+  t'.state.State.next_change <- t.state.State.next_change;
+  t'.state.State.peak_hint <- t.state.State.peak_hint;
+  t'
 
 let[@inline] rate t = t.state.State.rate
 let[@inline] next_change t = t.state.State.next_change

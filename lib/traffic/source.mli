@@ -21,18 +21,35 @@ module State : sig
 end
 
 val create :
+  ?copy:(Mbac_stats.Rng.t -> t) ->
   mean:float ->
   variance:float ->
   rate0:float ->
   next_change0:float ->
   step:(State.t -> now:float -> unit) ->
+  unit ->
   t
-(** [create ~mean ~variance ~rate0 ~next_change0 ~step] builds a source
-    whose nominal stationary statistics are [mean]/[variance], with
-    initial rate [rate0] holding until [next_change0].  [step st ~now]
-    is called each time the change epoch is reached and must call
-    {!State.set} with the new rate and the absolute time of the
-    following change (which must exceed [now]). *)
+(** [create ~mean ~variance ~rate0 ~next_change0 ~step ()] builds a
+    source whose nominal stationary statistics are [mean]/[variance],
+    with initial rate [rate0] holding until [next_change0].
+    [step st ~now] is called each time the change epoch is reached and
+    must call {!State.set} with the new rate and the absolute time of
+    the following change (which must exceed [now]).
+
+    [copy rng] must rebuild the source around a deep copy of the model's
+    hidden sampler state, drawing all future randomness from [rng]; the
+    returned source's visible rate/next-change/peak-hint are overwritten
+    by {!copy} afterwards, so the values passed to [create] inside the
+    copy are dummies.  It must not draw from any RNG during
+    construction.  Omitting it makes {!copy} raise. *)
+
+val copy : t -> Mbac_stats.Rng.t -> t
+(** Deep copy of the source's full state (visible rate/next-change and
+    the model's hidden sampler state); the copy draws all future
+    randomness from the given RNG, so parent and clone diverge on
+    genealogy-tagged streams.  Used by the simulator's
+    snapshot/restore (rare-event splitting).
+    @raise Invalid_argument for a source built without [~copy]. *)
 
 val rate : t -> float
 (** Current bandwidth demand. *)

@@ -23,16 +23,22 @@ let make trace ~offset ~start =
   let first_boundary =
     remaining +. (float_of_int (run_length_from !idx - 1) *. dt)
   in
-  let step st ~now =
-    idx := (!idx + run_length_from !idx) mod n;
-    let run = run_length_from !idx in
-    Source.State.set st ~rate:rates.(!idx)
-      ~next_change:(now +. (float_of_int run *. dt))
+  (* The trace itself is immutable and shared between parent and copy;
+     only the playback cursor is duplicated.  Playback draws no
+     randomness, so the copy's RNG is unused. *)
+  let rec build idx ~rate0 ~next_change0 =
+    let step st ~now =
+      idx := (!idx + run_length_from !idx) mod n;
+      let run = run_length_from !idx in
+      Source.State.set st ~rate:rates.(!idx)
+        ~next_change:(now +. (float_of_int run *. dt))
+    in
+    Source.create ~mean:(Trace.mean trace) ~variance:(Trace.variance trace)
+      ~rate0 ~next_change0 ~step
+      ~copy:(fun _rng -> build (ref !idx) ~rate0 ~next_change0)
+      ()
   in
-  Source.create ~mean:(Trace.mean trace) ~variance:(Trace.variance trace)
-    ~rate0:rates.(!idx)
-    ~next_change0:(start +. first_boundary)
-    ~step
+  build idx ~rate0:rates.(!idx) ~next_change0:(start +. first_boundary)
 
 let create rng trace ~start =
   let offset =

@@ -20,6 +20,7 @@ The experiments CLI lists every registered experiment:
     arrival    finite Poisson arrivals vs continuous load
     service    bufferless vs RCBR renegotiation vs buffered
     nonstat    non-stationary traffic vs estimator memory
+    deeptail   deep-tail splitting sweeps (p_q = 1e-5)
     utility    utility-based QoS metrics (§7 extension)
 
 Unknown experiments are rejected:

@@ -33,3 +33,19 @@ An impulsive-load experiment (exercises the burst driver):
   $ experiments --run prop31 --seed 7 --jobs 4 > exp.jobs4
   $ cmp exp.golden exp.jobs4 && echo byte-identical
   byte-identical
+
+The rare-event gate at toy sizes (fixed seeds, so the estimates and
+event counts are part of the golden; the 20x ratio gate itself only
+applies to the full-size release run):
+
+  $ mbac_bench --rare --toy
+  
+  === Rare-event gate (multilevel splitting vs naive MC) [toy] ===
+    naive MC:      p_f = 0.0004502  ci_rel = 0.432    (400000 events)
+    splitting:     p_f = 0.0006388  ci_rel = 0.448    (37135 events, 256 trials/level)
+    theory (eqn 37): 0.001504;  events ratio (naive at ci_rel = 0.5 / splitting): x10.8
+  
+  bench: wrote BENCH.json
+  bench: done.
+
+

@@ -6,7 +6,7 @@ let test_registry_complete () =
   let expected =
     [ "prop31"; "prop33"; "eqn21"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10";
       "fig11"; "fig12"; "regimes"; "util40"; "baselines"; "hetero";
-      "aggregate"; "arrival"; "service"; "nonstat"; "utility" ]
+      "aggregate"; "arrival"; "service"; "nonstat"; "deeptail"; "utility" ]
   in
   List.iter
     (fun id ->

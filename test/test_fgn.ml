@@ -81,6 +81,28 @@ let test_invalid () =
     (Invalid_argument "Fgn.generate: requires 0 < hurst < 1") (fun () ->
       ignore (Fgn.generate rng ~hurst:1.0 ~n:16))
 
+let test_plan_bit_identical () =
+  (* planned and planless paths must agree bit-for-bit from the same RNG
+     state, including the white-noise sentinel and plan/scratch reuse *)
+  List.iter
+    (fun (hurst, n) ->
+      let direct = Fgn.generate (Mbac_stats.Rng.create ~seed:33) ~hurst ~n in
+      let p = Fgn.plan ~hurst ~n in
+      let planned = Fgn.generate_with p (Mbac_stats.Rng.create ~seed:33) in
+      if direct <> planned then
+        Alcotest.failf "plan path differs (hurst=%g n=%d)" hurst n;
+      (* second use of the same plan reuses scratch — still identical *)
+      let again = Fgn.generate_with p (Mbac_stats.Rng.create ~seed:33) in
+      if direct <> again then
+        Alcotest.failf "plan reuse differs (hurst=%g n=%d)" hurst n;
+      let cached =
+        Fgn.generate_with (Fgn.cached_plan ~hurst ~n)
+          (Mbac_stats.Rng.create ~seed:33)
+      in
+      if direct <> cached then
+        Alcotest.failf "cached plan differs (hurst=%g n=%d)" hurst n)
+    [ (0.85, 1024); (0.85, 100); (0.6, 257); (0.5, 512) ]
+
 let suite =
   [ ( "fgn",
       [ test "autocovariance formula" test_autocovariance_formula;
@@ -89,4 +111,5 @@ let suite =
         test "H=0.5 is white" test_h05_is_iid;
         slow_test "fbm self-similarity exponent" test_fbm_scaling;
         test "determinism" test_determinism;
-        test "invalid" test_invalid ] ) ]
+        test "invalid" test_invalid;
+        test "plan bit-identical to planless" test_plan_bit_identical ] ) ]

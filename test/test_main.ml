@@ -9,6 +9,7 @@ let () =
    @ Test_parallel.suite
    @ Test_measurement.suite @ Test_core_basics.suite @ Test_estimator.suite
    @ Test_analysis.suite @ Test_controller.suite @ Test_sim_integration.suite
+   @ Test_splitting.suite
    @ Test_impulsive_driver.suite @ Test_experiments.suite
    @ Test_ks_hurst.suite @ Test_extensions.suite
    @ Test_effective_bandwidth.suite @ Test_telemetry.suite)

@@ -1,0 +1,239 @@
+(* The rare-event machinery: simulator snapshot/restore semantics and
+   the multilevel-splitting estimator's agreement with naive MC and with
+   closed-form tails. *)
+open Test_util
+
+(* A fixed-population system with a known Gaussian tail: the peak-rate
+   controller pins the admitted count at floor(capacity/peak) = 20 RCBR
+   flows, so the stationary load is a sum of 20 i.i.d. (truncated)
+   Gaussian rates — P(load > c) = Q((c - 20 mu)/(sigma sqrt 20)) up to
+   CLT/truncation error.  c is placed ~2.33 sd out: p_f ~ 1e-2, cheap
+   for both estimators. *)
+let mu = 1.0
+let sigma = 0.3
+let flows = 20
+let capacity = 23.13
+let peak = 1.15
+
+let sim_cfg =
+  { (Mbac_sim.Continuous_load.default_config ~capacity
+       ~holding_time_mean:50.0 ~target_p_q:1e-2)
+    with
+    Mbac_sim.Continuous_load.warmup = 20.0;
+    batch_length = 20.0;
+    check_every_events = max_int }
+
+let controller () = Mbac.Controller.peak_rate ~capacity ~peak
+
+let make_source rng ~start =
+  Mbac_traffic.Rcbr.create rng
+    { Mbac_traffic.Rcbr.mu; sigma; t_c = 1.0 }
+    ~start
+
+let split_cfg =
+  { (Mbac_sim.Splitting.default_config ~pilot_time:500.0) with
+    Mbac_sim.Splitting.levels = 3;
+    trials_per_level = 512;
+    calibration_time = 50.0 }
+
+(* ---------- snapshot / restore ---------- *)
+
+let trajectory sim n =
+  List.init n (fun _ ->
+      Mbac_sim.Continuous_load.step sim;
+      ( Mbac_sim.Continuous_load.now sim,
+        Mbac_sim.Continuous_load.load sim,
+        Mbac_sim.Continuous_load.flows sim ))
+
+let test_restore_replays_parent () =
+  let rng = Mbac_stats.Rng.create ~seed:501 in
+  let sim =
+    Mbac_sim.Continuous_load.start rng sim_cfg ~controller:(controller ())
+      ~make_source
+  in
+  for _ = 1 to 1000 do
+    Mbac_sim.Continuous_load.step sim
+  done;
+  let snap = Mbac_sim.Continuous_load.snapshot sim in
+  let parent = trajectory sim 500 in
+  (* default restore replays the parent's stream from the snapshot *)
+  let clone = Mbac_sim.Continuous_load.restore snap in
+  let replay = trajectory clone 500 in
+  if parent <> replay then
+    Alcotest.fail "restored clone diverged from parent trajectory"
+
+let test_restores_are_independent () =
+  let rng = Mbac_stats.Rng.create ~seed:502 in
+  let sim =
+    Mbac_sim.Continuous_load.start rng sim_cfg ~controller:(controller ())
+      ~make_source
+  in
+  for _ = 1 to 1000 do
+    Mbac_sim.Continuous_load.step sim
+  done;
+  let snap = Mbac_sim.Continuous_load.snapshot sim in
+  let a = Mbac_sim.Continuous_load.restore snap in
+  let b = Mbac_sim.Continuous_load.restore snap in
+  (* running one clone must not perturb the other: same snapshot, same
+     replayed stream, so their trajectories match whether or not the
+     other ran first *)
+  let ta = trajectory a 300 in
+  let tb = trajectory b 300 in
+  if ta <> tb then Alcotest.fail "sibling clones interfered";
+  (* a replacement rng leaves the restored state itself untouched *)
+  let c =
+    Mbac_sim.Continuous_load.restore
+      ~rng:(Mbac_stats.Rng.create ~seed:777)
+      snap
+  in
+  check_close ~tol:0.0 "clone starts at snapshot load"
+    (Mbac_sim.Continuous_load.load sim)
+    (Mbac_sim.Continuous_load.load c)
+
+let test_snapshot_unaffected_by_parent () =
+  let rng = Mbac_stats.Rng.create ~seed:503 in
+  let sim =
+    Mbac_sim.Continuous_load.start rng sim_cfg ~controller:(controller ())
+      ~make_source
+  in
+  for _ = 1 to 500 do
+    Mbac_sim.Continuous_load.step sim
+  done;
+  let snap = Mbac_sim.Continuous_load.snapshot sim in
+  let before = trajectory (Mbac_sim.Continuous_load.restore snap) 200 in
+  (* keep running the parent, then restore again: identical replay *)
+  for _ = 1 to 2000 do
+    Mbac_sim.Continuous_load.step sim
+  done;
+  let after = trajectory (Mbac_sim.Continuous_load.restore snap) 200 in
+  if before <> after then
+    Alcotest.fail "snapshot mutated by the live sim (aliasing)"
+
+(* ---------- estimator agreement ---------- *)
+
+let naive_run ~seed ~max_events =
+  let cfg = { sim_cfg with Mbac_sim.Continuous_load.max_events } in
+  Mbac_sim.Continuous_load.run
+    (Mbac_stats.Rng.create ~seed)
+    cfg ~controller:(controller ()) ~make_source
+
+let splitting_run ~seed =
+  Mbac_sim.Splitting.run ~seed split_cfg sim_cfg ~controller:(controller ())
+    ~make_source
+
+let test_splitting_jobs_invariant () =
+  let a = Mbac_sim.Splitting.run ~jobs:1 ~seed:9 split_cfg sim_cfg
+      ~controller:(controller ()) ~make_source
+  in
+  let b = Mbac_sim.Splitting.run ~jobs:4 ~seed:9 split_cfg sim_cfg
+      ~controller:(controller ()) ~make_source
+  in
+  check_close ~tol:0.0 "p_f identical across jobs" a.Mbac_sim.Splitting.p_f
+    b.Mbac_sim.Splitting.p_f;
+  check_close ~tol:0.0 "ci identical across jobs"
+    a.Mbac_sim.Splitting.ci_rel b.Mbac_sim.Splitting.ci_rel;
+  Alcotest.(check int) "events identical across jobs"
+    a.Mbac_sim.Splitting.total_events b.Mbac_sim.Splitting.total_events
+
+(* Unbiasedness: on a calibrated p_f ~ 1e-2 system, the splitting
+   estimate and a naive long run must agree within overlapping 95% CIs
+   (widened 2x so sampling noise cannot flake the suite). *)
+let test_splitting_vs_naive_qcheck =
+  qcheck ~count:4 "splitting agrees with naive MC (overlapping CIs)"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let n = naive_run ~seed ~max_events:400_000 in
+      let s = splitting_run ~seed:(seed + 10_000) in
+      let np = n.Mbac_sim.Continuous_load.p_f in
+      let nhw =
+        let r = n.Mbac_sim.Continuous_load.ci_rel in
+        if Float.is_nan r then 0.5 else r
+      in
+      let sp = s.Mbac_sim.Splitting.p_f in
+      let shw = s.Mbac_sim.Splitting.ci_rel in
+      if sp <= 0.0 || np <= 0.0 then
+        QCheck.Test.fail_reportf "degenerate estimate: naive %g splitting %g"
+          np sp
+      else begin
+        let n_lo = np *. (1.0 -. (2.0 *. nhw))
+        and n_hi = np *. (1.0 +. (2.0 *. nhw)) in
+        let s_lo = sp *. (1.0 -. (2.0 *. shw))
+        and s_hi = sp *. (1.0 +. (2.0 *. shw)) in
+        if s_lo > n_hi || n_lo > s_hi then
+          QCheck.Test.fail_reportf
+            "CIs disjoint: naive %.4g [%.4g, %.4g], splitting %.4g [%.4g, \
+             %.4g]"
+            np n_lo n_hi sp s_lo s_hi
+        else true
+      end)
+
+(* Exact-answer check: the fixed-population load is a sum of 20 i.i.d.
+   rates, so P(load > c) = Q((c - 20 mu)/(sigma sqrt 20)) up to
+   CLT/truncation error (a few percent here).  The splitting estimate
+   must land within that error plus its own CI. *)
+let test_splitting_gaussian_exact () =
+  let s = splitting_run ~seed:4242 in
+  let exact =
+    Mbac_stats.Gaussian.q
+      ((capacity -. (float_of_int flows *. mu))
+       /. (sigma *. sqrt (float_of_int flows)))
+  in
+  let p = s.Mbac_sim.Splitting.p_f in
+  Alcotest.(check bool)
+    (Printf.sprintf "splitting %.4g vs Gaussian tail %.4g" p exact)
+    true
+    (p > exact /. 1.8 && p < exact *. 1.8)
+
+(* Gaussian-regime MBAC point: with memory T_m = T~_h the eqn (37)
+   theory sits in its large-memory (Gaussian) regime and is a
+   conservative upper bound on the simulated p_f (paper §5.2/Fig 5); the
+   splitting estimate must respect that ordering without collapsing. *)
+let test_splitting_vs_eqn37 () =
+  let p =
+    Mbac.Params.make ~n:100.0 ~mu:1.0 ~sigma:0.3 ~t_h:1000.0 ~t_c:1.0
+      ~p_q:1e-3
+  in
+  let t_m = Mbac.Params.t_h_tilde p in
+  let alpha = Mbac.Params.alpha_q p in
+  let theory = Mbac.Memory_formula.overflow_cached ~p ~t_m ~alpha_ce:alpha in
+  let cfg =
+    { (Mbac_sim.Continuous_load.default_config
+         ~capacity:(Mbac.Params.capacity p)
+         ~holding_time_mean:1000.0 ~target_p_q:1e-3)
+      with
+      Mbac_sim.Continuous_load.warmup = 400.0;
+      batch_length = 200.0 }
+  in
+  let scfg =
+    { (Mbac_sim.Splitting.default_config ~pilot_time:4000.0) with
+      Mbac_sim.Splitting.levels = 4;
+      trials_per_level = 512 }
+  in
+  let controller =
+    Mbac.Controller.with_memory ~capacity:(Mbac.Params.capacity p)
+      ~p_ce:1e-3 ~t_m
+  in
+  let r =
+    Mbac_sim.Splitting.run ~seed:77 scfg cfg ~controller
+      ~make_source:(fun rng ~start ->
+        Mbac_traffic.Rcbr.create rng
+          { Mbac_traffic.Rcbr.mu = 1.0; sigma = 0.3; t_c = 1.0 }
+          ~start)
+  in
+  let pf = r.Mbac_sim.Splitting.p_f in
+  Alcotest.(check bool)
+    (Printf.sprintf "splitting %.4g vs theory %.4g (conservative bound)" pf
+       theory)
+    true
+    (pf <= theory *. 1.5 && pf >= theory /. 50.0)
+
+let suite =
+  [ ( "splitting",
+      [ test "restore replays parent" test_restore_replays_parent;
+        test "sibling clones independent" test_restores_are_independent;
+        test "snapshot survives parent" test_snapshot_unaffected_by_parent;
+        test "jobs-invariant results" test_splitting_jobs_invariant;
+        test_splitting_vs_naive_qcheck;
+        test "Gaussian tail exact answer" test_splitting_gaussian_exact;
+        slow_test "eqn (37) Gaussian-regime point" test_splitting_vs_eqn37
+      ] ) ]
