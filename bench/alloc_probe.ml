@@ -167,6 +167,20 @@ let () =
            Mbac_telemetry.Metrics.inc "probe_string_total"
          done));
 
+  (* parallel-pool bookkeeping per task: shard create + claim + cell +
+     submission-order merge, measured on the serial path so the counters
+     (which are per-domain) see every allocation.  The task list is
+     prebuilt: this probes the pool machinery, not closure construction.
+     Promoted words matter here — each task's shard and cell survive to
+     the join. *)
+  let pool_batch = 1_000 in
+  let pool_tasks = List.init pool_batch (fun _ () -> ()) in
+  report "Parallel.run_tasks (per task)"
+    (words_per_op ~ops:100_000 (fun n ->
+         for _ = 1 to n / pool_batch do
+           ignore (Mbac_sim.Parallel.run_tasks ~jobs:1 pool_tasks)
+         done));
+
   (* whole event loop: words per simulated event, end to end *)
   let sim_events = 200_000 in
   let run_sim n =

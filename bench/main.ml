@@ -257,6 +257,8 @@ let run_hotpath fmt =
 
 (* ---------- Parallel replication engine scaling ---------- *)
 
+let scaling_cells = 16
+
 (* A 16-cell sweep of short continuous-load sims — the workload shape of
    every figure reproduction — fanned out at pool widths 1/2/4.  The
    determinism contract says the results are identical; this measures
@@ -264,7 +266,7 @@ let run_hotpath fmt =
 let sweep ~jobs =
   ignore
     (Mbac_sim.Parallel.run_tasks ~jobs
-       (List.init 16 (fun i () ->
+       (List.init scaling_cells (fun i () ->
             let cfg =
               { (Mbac_sim.Continuous_load.default_config ~capacity:100.0
                    ~holding_time_mean:1000.0 ~target_p_q:1e-3)
@@ -287,15 +289,42 @@ let sweep ~jobs =
                   (Mbac_traffic.Rcbr.default_params ~mu:1.0)
                   ~start))))
 
-(* Returns (jobs, ns/run estimate, speedup vs jobs=1) rows. *)
+type scaling_row = {
+  s_jobs : int;
+  s_effective : int; (* pool width actually used *)
+  s_ns : float;
+  s_speedup : float;
+  s_required : float; (* gate threshold for this row; nan for jobs=1 *)
+  s_pass : bool;
+}
+
+(* The multicore targets (>= 1.6x at 2 jobs, >= 3x at 4 jobs) gate the
+   release profile whenever the hardware can actually run the pool in
+   parallel.  On machines with fewer cores than the requested width a
+   wall-clock speedup is physically unattainable — domains time-share
+   one core — so the gate degrades to an overhead bound: replication
+   fan-out must not be a net loss (>= 0.8x guards against the
+   pre-refactor regression, which bottomed at 0.90x on one core while
+   real multicore losses from GC stalls can run far deeper). *)
+let scaling_required ~cores ~jobs ~effective =
+  let hw = min effective cores in
+  if jobs >= 4 && hw >= 4 then 3.0
+  else if jobs >= 2 && hw >= 2 then 1.6
+  else 0.8
+
 let run_scaling fmt =
   let open Bechamel in
+  let cores = Domain.recommended_domain_count () in
   Format.fprintf fmt
-    "@.=== Parallel scaling (16-sim sweep, jobs in {1, 2, 4}; %d core(s) \
-     available) ===@."
-    (Mbac_sim.Parallel.default_jobs ());
+    "@.=== Parallel scaling (%d-sim sweep, jobs in {1, 2, 4}; %d core(s) \
+     available, domain cap %d) ===@."
+    scaling_cells cores
+    (Mbac_sim.Parallel.domain_cap ());
+  (* A sweep run is ~100-200 ms, so a 1 s quota yields single-digit
+     sample counts and ±25% run-to-run scatter — enough to trip the
+     overhead gate on noise alone.  4 s per row buys ~30 OLS samples. *)
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 4.0) ~kde:None ()
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let estimate jobs =
@@ -320,17 +349,47 @@ let run_scaling fmt =
   sweep ~jobs:2 (* warm up the domain machinery once *);
   let base = estimate 1 in
   Format.fprintf fmt "  %-24s %12.3f ms/run@." "sweep jobs=1" (base /. 1e6);
+  let base_row =
+    { s_jobs = 1;
+      s_effective = Mbac_sim.Parallel.effective_jobs ~jobs:1 scaling_cells;
+      s_ns = base;
+      s_speedup = 1.0;
+      s_required = nan;
+      s_pass = true }
+  in
   let rest =
     List.map
       (fun jobs ->
+        let effective =
+          Mbac_sim.Parallel.effective_jobs ~jobs scaling_cells
+        in
         let est = estimate jobs in
-        Format.fprintf fmt "  %-24s %12.3f ms/run   speedup x%.2f@."
+        let speedup = base /. est in
+        let required = scaling_required ~cores ~jobs ~effective in
+        let pass = speedup >= required in
+        Format.fprintf fmt
+          "  %-24s %12.3f ms/run   speedup x%.2f  (width %d, required >= \
+           %.1f: %s)@."
           (Printf.sprintf "sweep jobs=%d" jobs)
-          (est /. 1e6) (base /. est);
-        (jobs, est, base /. est))
+          (est /. 1e6) speedup effective required
+          (if pass then "PASS" else "FAIL");
+        { s_jobs = jobs;
+          s_effective = effective;
+          s_ns = est;
+          s_speedup = speedup;
+          s_required = required;
+          s_pass = pass })
       [ 2; 4 ]
   in
-  (1, base, 1.0) :: rest
+  let rows = base_row :: rest in
+  if cores < 4 then
+    Format.fprintf fmt
+      "  note: %d core(s) < 4 — the >= 3x multicore target cannot apply; \
+       gating the overhead bound instead.@."
+      cores;
+  Format.fprintf fmt "  scaling gate: %s@."
+    (if List.for_all (fun r -> r.s_pass) rows then "PASS" else "FAIL");
+  rows
 
 (* ---------- Rare-event gate (--rare) ---------- *)
 
@@ -624,13 +683,22 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
   let scaling_json =
     Option.map
       (fun rows ->
-        arr
-          (List.map
-             (fun (jobs, ns, speedup) ->
-               obj
-                 [ ("jobs", int jobs); ("ns_per_run", float ns);
-                   ("speedup", float speedup) ])
-             rows))
+        obj
+          [ ("available_cores", int (Domain.recommended_domain_count ()));
+            ("domain_cap", int (Mbac_sim.Parallel.domain_cap ()));
+            ("gate_pass", bool (List.for_all (fun r -> r.s_pass) rows));
+            ("rows",
+             arr
+               (List.map
+                  (fun r ->
+                    obj
+                      [ ("jobs", int r.s_jobs);
+                        ("effective_jobs", int r.s_effective);
+                        ("ns_per_run", float r.s_ns);
+                        ("speedup", float r.s_speedup);
+                        ("required", fnan r.s_required);
+                        ("pass", bool r.s_pass) ])
+                  rows)) ])
       scaling
   in
   let rare_json =
@@ -680,7 +748,14 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
            | Some h -> fnan h.hp_events_per_sec
            | None -> "null");
           ("rare_events_ratio",
-           match rare with Some r -> fnan r.r_events_ratio | None -> "null")
+           match rare with Some r -> fnan r.r_events_ratio | None -> "null");
+          ("scaling_speedup_at_4",
+           match scaling with
+           | Some rows -> (
+               match List.find_opt (fun r -> r.s_jobs = 4) rows with
+               | Some r -> fnan r.s_speedup
+               | None -> "null")
+           | None -> "null")
         ]
     in
     let items = prev_items @ [ entry ] in
@@ -710,6 +785,7 @@ let () =
   let full = Array.exists (fun a -> a = "--full") argv in
   let skip_micro = Array.exists (fun a -> a = "--no-micro") argv in
   let scaling_only = Array.exists (fun a -> a = "--scaling") argv in
+  let gate = Array.exists (fun a -> a = "--gate") argv in
   let hotpath_only = Array.exists (fun a -> a = "--hotpath") argv in
   let rare_only = Array.exists (fun a -> a = "--rare") argv in
   let toy = Array.exists (fun a -> a = "--toy") argv in
@@ -778,4 +854,11 @@ let () =
   | None -> ());
   if Mbac_telemetry.Profile.enabled () then
     Mbac_telemetry.Profile.report Format.err_formatter;
-  Format.fprintf fmt "bench: done.@."
+  Format.fprintf fmt "bench: done.@.";
+  (* --gate turns a failed scaling gate into a non-zero exit (CI runs it
+     on the release build; dev-profile numbers are not meaningful, see
+     PERFORMANCE.md). *)
+  match scaling with
+  | Some rows when gate && not (List.for_all (fun r -> r.s_pass) rows) ->
+      exit 1
+  | Some _ | None -> ()

@@ -85,10 +85,11 @@ let seed_opt =
 let jobs_opt =
   Arg.(value & opt (some int) None
        & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Simulation worker domains (default: the number of cores). \
-                 Results are bit-identical for every value: streams are \
-                 derived from --seed and the cell tag, never from the \
-                 schedule.")
+           ~doc:"Simulation worker domains (default: the core count, at \
+                 most 8; explicit values are clamped to the same cap, \
+                 overridable via \\$MBAC_DOMAIN_CAP).  Results are \
+                 bit-identical for every value: streams are derived from \
+                 --seed and the cell tag, never from the schedule.")
 
 let csv_dir_opt =
   Arg.(value & opt (some string) None

@@ -226,8 +226,10 @@ let cmd =
                        derived from --seed and the replication index.")
       $ Arg.(value & opt int (Mbac_sim.Parallel.default_jobs ())
              & info [ "jobs"; "j" ] ~docv:"N"
-                 ~doc:"Worker domains for the replications (default: number \
-                       of cores).  Output is identical for every value.")
+                 ~doc:"Worker domains for the replications (default: the \
+                       core count, at most 8; clamped to the same cap, \
+                       overridable via \\$MBAC_DOMAIN_CAP).  Output is \
+                       identical for every value.")
       $ Arg.(value & flag
              & info [ "rare-event" ]
                  ~doc:"Estimate the deep-tail overflow probability with \

@@ -25,12 +25,16 @@ let jobs = ref (Mbac_sim.Parallel.default_jobs ())
 (* Progress goes through Logs (stderr), never stdout: the result stream
    stays byte-identical whatever the verbosity, and --quiet silences
    sweeps entirely. *)
-let par_map f xs =
+let par_map ?init f xs =
   let n = List.length xs in
-  Log.info (fun m -> m "sweep: %d cell(s) on %d worker domain(s)" n !jobs);
+  (* Log the width the pool will actually use — [run_tasks] clamps the
+     request to the task count and the domain cap, so echoing [!jobs]
+     here would overstate narrow sweeps. *)
+  let width = Mbac_sim.Parallel.effective_jobs ~jobs:!jobs n in
+  Log.info (fun m -> m "sweep: %d cell(s) on %d worker domain(s)" n width);
   let r =
     Mbac_telemetry.Profile.span "experiments.par_map" (fun () ->
-        Mbac_sim.Parallel.map ~jobs:!jobs f xs)
+        Mbac_sim.Parallel.map ~jobs:!jobs ?init f xs)
   in
   Log.info (fun m -> m "sweep: %d cell(s) done" n);
   r

@@ -56,15 +56,23 @@ let metrics t =
   Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let is_empty t =
+  Hashtbl.length t.table = 0 && Buffer.length t.trace = 0
+
 let merge_into_current src =
-  let dst = current () in
-  List.iter
-    (fun (name, cell) ->
-      match Hashtbl.find_opt dst.table name with
-      | Some into -> Metric.merge_into ~into cell
-      | None -> Hashtbl.replace dst.table name (Metric.copy cell))
-    (metrics src);
-  Buffer.add_buffer dst.trace src.trace
+  (* The pool's join merges one shard per task, serially, in the
+     submitting domain — skip the sort-and-probe entirely for tasks
+     that recorded nothing. *)
+  if not (is_empty src) then begin
+    let dst = current () in
+    List.iter
+      (fun (name, cell) ->
+        match Hashtbl.find_opt dst.table name with
+        | Some into -> Metric.merge_into ~into cell
+        | None -> Hashtbl.replace dst.table name (Metric.copy cell))
+      (metrics src);
+    Buffer.add_buffer dst.trace src.trace
+  end
 
 let trace_buffer t = t.trace
 

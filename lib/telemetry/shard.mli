@@ -34,10 +34,15 @@ val reset_current : unit -> unit
     used by tests and by binaries that emit several independent
     snapshots. *)
 
+val is_empty : t -> bool
+(** No metrics registered and an empty trace buffer — i.e. merging this
+    shard anywhere is a no-op. *)
+
 val merge_into_current : t -> unit
 (** Merge a (quiescent) shard's metrics into the current shard per
-    {!Metric.merge_into} and append its trace buffer.  The source shard
-    must no longer be mutated concurrently. *)
+    {!Metric.merge_into} and append its trace buffer ({!is_empty}
+    shards are skipped without touching the destination).  The source
+    shard must no longer be mutated concurrently. *)
 
 (** {2 Metric table} *)
 

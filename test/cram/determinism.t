@@ -2,6 +2,12 @@ The determinism contract: every simulation stream is derived up front
 from (--seed, task tag), never from the execution schedule, so the
 worker-pool width must not change a single byte of output.
 
+The pool clamps its width to the core count by default (oversubscribing
+OCaml 5 domains is a net loss), so pin the cap up front: these checks
+must spawn real multi-domain schedules even on a 1-core runner.
+
+  $ export MBAC_DOMAIN_CAP=4
+
 A simulation experiment, serial vs two worker domains:
 
   $ experiments --run prop31 --seed 11 --jobs 1 > jobs1.out

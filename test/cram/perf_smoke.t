@@ -3,6 +3,11 @@ simulation output.  Tiny fixed-seed runs whose golden output is
 committed below, re-checked at --jobs 1 and --jobs 4 (the determinism
 contract says pool width never changes results).
 
+Pin the domain cap so --jobs 4 spawns real worker domains even on a
+narrow runner (the pool otherwise clamps to the core count):
+
+  $ export MBAC_DOMAIN_CAP=4
+
 A continuous-load replication pair:
 
   $ mbac_sim --seed 7 --reps 2 --t-h 50 --max-events 50000 --jobs 1 | tee sim.golden

@@ -4,6 +4,11 @@ fans trials out in jobs-independent chunks, so its output — estimate,
 per-level statistics, event counts — must be byte-identical for every
 worker count.
 
+Pin the domain cap so --jobs 4 spawns real worker domains even on a
+narrow runner (the pool otherwise clamps to the core count):
+
+  $ export MBAC_DOMAIN_CAP=4
+
   $ mbac_sim --rare-event --seed 7 -n 30 --t-h 50 --rare-trials 128 --rare-levels 3 --rare-pilot-time 300 --jobs 1 | tee rare.golden
   system: { n=30; mu=1; sigma=0.3; T_h=50; T_c=1; p_q=0.001 | c=30 alpha_q=3.09 T~_h=9.129 gamma=2.739 }
   controller: robust[T_m=9.13,alpha_ce=3.29], source: rcbr, rare-event splitting: levels=3 base=0.25 trials=128 pilot=300

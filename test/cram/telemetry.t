@@ -3,6 +3,11 @@ from per-task shards merged in submission order, so --metrics-out and
 --trace-out are byte-identical for every --jobs value (the acceptance
 pair is jobs 1 vs jobs 4).
 
+Pin the domain cap so --jobs 4 spawns real worker domains even on a
+narrow runner (the pool otherwise clamps to the core count):
+
+  $ export MBAC_DOMAIN_CAP=4
+
   $ experiments --run prop31 --seed 11 --jobs 1 \
   >   --metrics-out m1.json --trace-out t1.jsonl > run1.out
   $ experiments --run prop31 --seed 11 --jobs 4 \

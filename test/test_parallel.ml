@@ -4,6 +4,12 @@
 open Mbac_sim
 open Test_util
 
+(* The pool clamps its width to the core count by default; raise the cap
+   so these tests exercise real multi-domain schedules (and the width
+   assertions below hold) even on a 1-core CI runner.  Must happen
+   before any [domain_cap] call. *)
+let () = Unix.putenv "MBAC_DOMAIN_CAP" "8"
+
 let test_ordering () =
   let xs = List.init 100 Fun.id in
   Alcotest.(check (list int))
@@ -83,6 +89,137 @@ let test_actually_parallel () =
     (fun i (j, _) -> Alcotest.(check int) "order preserved" i j)
     results
 
+let test_effective_jobs () =
+  Alcotest.(check int) "clamped to task count" 3
+    (Parallel.effective_jobs ~jobs:16 3);
+  Alcotest.(check int) "clamped to cap"
+    (Parallel.domain_cap ())
+    (Parallel.effective_jobs ~jobs:1000 1000);
+  Alcotest.(check int) "zero tasks" 0 (Parallel.effective_jobs ~jobs:4 0);
+  Alcotest.(check int) "explicit width kept" 2
+    (Parallel.effective_jobs ~jobs:2 100);
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Parallel.run_tasks: jobs < 1") (fun () ->
+      ignore (Parallel.effective_jobs ~jobs:0 4));
+  Alcotest.(check bool) "default within cap" true
+    (Parallel.default_jobs () <= Parallel.domain_cap ())
+
+let counter_value name =
+  match
+    Mbac_telemetry.Shard.find_metric (Mbac_telemetry.Shard.current ()) name
+  with
+  | Some (Mbac_telemetry.Metric.Counter r) -> !r
+  | Some _ -> Alcotest.fail (name ^ ": not a counter")
+  | None -> 0
+
+(* First-failure cancellation on the serial path: tasks submitted after
+   the first failure never start. *)
+let test_cancellation_serial () =
+  let started = Atomic.make 0 in
+  (try
+     ignore
+       (Parallel.map ~jobs:1
+          (fun i ->
+            Atomic.incr started;
+            if i = 2 then failwith "boom")
+          (List.init 10 Fun.id));
+     Alcotest.fail "expected failure"
+   with Failure msg when msg = "boom" -> ());
+  Alcotest.(check int) "tasks after the failure skipped" 3
+    (Atomic.get started)
+
+(* The re-raised exception is the submission-order-first failure at
+   every pool width and chunk size, even though later tasks may fail
+   first on the wall clock and unclaimed tasks are skipped. *)
+let test_first_failure_deterministic =
+  qcheck ~count:60 "first submission-order failure re-raised at any width"
+    QCheck.(
+      triple (int_range 1 40)
+        (pair (int_range 1 8) (int_range 1 8))
+        (int_range 0 1000))
+    (fun (n, (jobs, chunk), salt) ->
+      (* every task whose hash bit is set fails; expected = lowest such *)
+      let fails i = (Hashtbl.hash (salt, i) land 3) = 0 in
+      let expected =
+        List.find_opt fails (List.init n Fun.id)
+      in
+      let run () =
+        ignore
+          (Parallel.map ~jobs ~chunk
+             (fun i -> if fails i then failwith (string_of_int i) else i)
+             (List.init n Fun.id))
+      in
+      match expected with
+      | None ->
+          run ();
+          true
+      | Some f -> (
+          try
+            run ();
+            false
+          with Failure msg -> int_of_string msg = f))
+
+(* Partial telemetry from executed tasks — including the failing one —
+   is merged; skipped tasks contribute nothing and are counted. *)
+let test_partial_telemetry_on_failure () =
+  Mbac_telemetry.Shard.reset_current ();
+  (try
+     ignore
+       (Parallel.map ~jobs:1
+          (fun i ->
+            Mbac_telemetry.Metrics.inc "test_cancel_probe_total";
+            if i = 4 then failwith "stop")
+          (List.init 12 Fun.id));
+     Alcotest.fail "expected failure"
+   with Failure msg when msg = "stop" -> ());
+  Alcotest.(check int) "executed tasks' metrics merged" 5
+    (counter_value "test_cancel_probe_total");
+  Alcotest.(check int) "executed tasks counted" 5
+    (counter_value "parallel_tasks_total");
+  Alcotest.(check int) "skipped tasks counted" 7
+    (counter_value "parallel_tasks_skipped_total");
+  Mbac_telemetry.Shard.reset_current ()
+
+(* Results (and, on success, merged telemetry) are invariant in both the
+   pool width and the chunk size. *)
+let test_chunk_invariance =
+  qcheck ~count:40 "chunked submission is jobs- and chunk-invariant"
+    QCheck.(pair (int_range 0 50) (pair (int_range 1 6) (int_range 1 9)))
+    (fun (n, (jobs, chunk)) ->
+      let cells = List.init n Fun.id in
+      let f i =
+        let rng =
+          Mbac_stats.Rng.derive ~seed:5 ~tag:(Printf.sprintf "chunk-%d" i)
+        in
+        Mbac_stats.Rng.bits64 rng
+      in
+      let reference = List.map f cells in
+      reference = Parallel.map ~jobs ~chunk f cells)
+
+(* [init] runs in every domain that executes tasks, before any of its
+   tasks: each task checks the domain-local seed its init planted. *)
+let dls_probe : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let test_init_preseeds_domains () =
+  let init_runs = Atomic.make 0 in
+  let init () =
+    Atomic.incr init_runs;
+    Domain.DLS.get dls_probe := true
+  in
+  let seen =
+    Parallel.map ~jobs:4 ~init
+      (fun _ -> !(Domain.DLS.get dls_probe))
+      (List.init 32 Fun.id)
+  in
+  Alcotest.(check bool) "every task saw its domain pre-seeded" true
+    (List.for_all Fun.id seen);
+  let runs = Atomic.get init_runs in
+  Alcotest.(check bool) "init ran in each executing domain (1..width)" true
+    (runs >= 1 && runs <= Parallel.effective_jobs ~jobs:4 32);
+  (* the submitting domain was seeded too: clean up for other tests *)
+  Domain.DLS.get dls_probe := false
+
 let suite =
   [ ( "parallel",
       [ test "submission order" test_ordering;
@@ -90,4 +227,10 @@ let suite =
         test "jobs invariance" test_jobs_invariance;
         test "exception propagation" test_exception_propagation;
         test "invalid jobs" test_invalid_jobs;
-        test "contention" test_actually_parallel ] ) ]
+        test "contention" test_actually_parallel;
+        test "effective width" test_effective_jobs;
+        test "serial cancellation" test_cancellation_serial;
+        test_first_failure_deterministic;
+        test "partial telemetry on failure" test_partial_telemetry_on_failure;
+        test_chunk_invariance;
+        test "per-domain init preseed" test_init_preseeds_domains ] ) ]
