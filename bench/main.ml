@@ -801,7 +801,8 @@ let () =
   in
   let metrics_out = arg_value "--metrics-out" in
   let trace_out = arg_value "--trace-out" in
-  if Array.exists (fun a -> a = "--profile") argv then
+  let profile_out = arg_value "--profile-out" in
+  if Array.exists (fun a -> a = "--profile") argv || profile_out <> None then
     Mbac_telemetry.Profile.set_enabled true;
   if trace_out <> None then Mbac_telemetry.Trace.set_enabled true;
   (* Same verbosity convention as the cmdliner binaries: warnings by
@@ -852,7 +853,14 @@ let () =
       close_out oc;
       Format.fprintf fmt "bench: wrote %s@." path
   | None -> ());
-  if Mbac_telemetry.Profile.enabled () then
+  (match profile_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Mbac_telemetry.Profile.to_json ());
+      close_out oc;
+      Format.fprintf fmt "bench: wrote %s@." path
+  | None -> ());
+  if Array.exists (fun a -> a = "--profile") argv then
     Mbac_telemetry.Profile.report Format.err_formatter;
   Format.fprintf fmt "bench: done.@.";
   (* --gate turns a failed scaling gate into a non-zero exit (CI runs it

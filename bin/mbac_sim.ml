@@ -49,6 +49,11 @@ let run_sim controller_name source_kind n mu sigma_ratio t_h t_c p_q t_m
   | Ok _ when jobs < 1 -> Error "--jobs must be >= 1"
   | Ok _ when tele.Mbac_telemetry_cli.Flags.trace_sample < 1 ->
       Error "--trace-sample must be >= 1"
+  | Ok _
+    when not
+           (Float.is_finite tele.Mbac_telemetry_cli.Flags.series_interval
+           && tele.Mbac_telemetry_cli.Flags.series_interval > 0.0) ->
+      Error "--series-interval must be finite and > 0"
   | Ok make_controller ->
       Mbac_telemetry_cli.Flags.install tele;
       let lrd_trace =

@@ -91,6 +91,9 @@ let run_mbac ~profile ~p ~t_m ~alpha_ce ~tag =
   let capacity = Mbac.Params.capacity p in
   let controller = ce_controller ~capacity ~t_m ~alpha_ce in
   let cfg = sim_config ~profile ~p ~t_m in
+  (* Label this cell's time-series windows with the sweep tag (the
+     controller name alone does not identify the cell). *)
+  Mbac_telemetry.Timeseries.set_label tag;
   Mbac_telemetry.Profile.span "experiments.run_mbac" (fun () ->
       Mbac_sim.Continuous_load.run (rng_for tag) cfg ~controller
         ~make_source:(rcbr_factory ~p))
@@ -109,6 +112,7 @@ let run_mbac_rare ~profile ~p ~t_m ~alpha_ce ~tag =
       Mbac_sim.Splitting.trials_per_level = trials;
       seed_tag = tag }
   in
+  Mbac_telemetry.Timeseries.set_label tag;
   (* Cells run sequentially; the engine parallelizes its own clone
      trials over the worker pool (results independent of [!jobs]). *)
   Mbac_telemetry.Profile.span "experiments.run_mbac_rare" (fun () ->

@@ -87,6 +87,23 @@ type hot = {
   mutable ovf_excess : float;  (* ∫(load - capacity)dt over the episode *)
   mutable ovf_time : float;
   mutable next_snapshot : float;
+  mutable next_window : float; (* next time-series boundary; inf when off *)
+}
+
+(* Time-series cursors: the flow/event totals live in plain [state]
+   fields on the hot path and are folded into the telemetry shard once
+   per run — or, when [--series-out] wants live windows, once per window
+   boundary.  The cursor remembers how much of each total has been
+   folded so far, so boundary syncs add exact deltas and the end-of-run
+   remainder reproduces today's one-shot totals bit for bit. *)
+type cursor = {
+  mutable c_events : int;
+  mutable c_admitted : int;
+  mutable c_departed : int;
+  mutable c_blocked : int;
+  mutable c_reneg_attempts : int;
+  mutable c_reneg_failures : int;
+  mutable c_time : float;
 }
 
 (* Dense flow table: a structure of arrays indexed by slot, with a
@@ -120,6 +137,7 @@ type state = {
   mutable reneg_failures : int;
   mutable events : int;
   mutable ovf_episodes : int;
+  cursor : cursor;
 }
 
 (* Episode counters fire on every overflow-episode boundary; resolve
@@ -134,6 +152,28 @@ let m_ovf_excess = Mbac_telemetry.Metrics.Handle.sum "sim_overflow_excess_volume
 let m_ovf_duration =
   Mbac_telemetry.Metrics.Handle.histogram "sim_overflow_episode_duration_batches"
     ~lo:0.0 ~hi:20.0 ~bins:40
+
+(* Same duration, raw (seconds of virtual time) in a log-bucketed
+   quantile histogram: scale-free, so episodes past 20 batch lengths —
+   overflow of the fixed-bucket shape above — keep a readable p99. *)
+let m_ovf_duration_s =
+  Mbac_telemetry.Metrics.Handle.qhist "sim_overflow_episode_duration_seconds"
+
+(* Run totals, folded in by [sync_counters] (per window boundary when
+   the time series is on, once per run otherwise). *)
+let m_events = Mbac_telemetry.Metrics.Handle.counter "sim_events_total"
+let m_admitted = Mbac_telemetry.Metrics.Handle.counter "sim_flows_admitted_total"
+let m_departed = Mbac_telemetry.Metrics.Handle.counter "sim_flows_departed_total"
+let m_blocked = Mbac_telemetry.Metrics.Handle.counter "sim_flows_blocked_total"
+let m_reneg_attempts =
+  Mbac_telemetry.Metrics.Handle.counter "sim_reneg_attempts_total"
+let m_reneg_failures =
+  Mbac_telemetry.Metrics.Handle.counter "sim_reneg_failures_total"
+let m_time = Mbac_telemetry.Metrics.Handle.sum "sim_time_simulated"
+
+(* Sampled at each window close, for the series' gauge section. *)
+let g_window_flows = Mbac_telemetry.Metrics.Handle.gauge "sim_window_flows"
+let g_window_load = Mbac_telemetry.Metrics.Handle.gauge "sim_window_load"
 
 let[@inline] observation s =
   Mbac.Observation.make ~now:s.hot.now ~n:s.n ~sum_rate:s.hot.sum_rate
@@ -266,6 +306,7 @@ let close_overflow_episode s ~t0 =
   Mbac_telemetry.Metrics.Handle.add m_ovf_excess s.hot.ovf_excess;
   Mbac_telemetry.Metrics.Handle.observe m_ovf_duration
     (duration /. s.cfg.batch_length);
+  Mbac_telemetry.Metrics.Handle.observe_q m_ovf_duration_s duration;
   if Mbac_telemetry.Trace.enabled () then
     Mbac_telemetry.Trace.emit ~t:t0 ~kind:"overflow_end"
       [ ("start", Mbac_telemetry.Trace.Float s.hot.ovf_start);
@@ -310,6 +351,45 @@ let emit_snapshots s ~t1 =
          Mbac_telemetry.Trace.Float (Measurement.overflow_fraction s.meas)) ]
   done
 
+(* Fold the not-yet-folded part of each running total into the shard.
+   Unconditional increments (even by 0) so every counter registers —
+   the snapshot's name set must not depend on what a run happened to
+   do.  [upto] caps the virtual-time delta at the window boundary being
+   closed (or the final [now] at run end). *)
+let sync_counters s ~upto =
+  let c = s.cursor in
+  Mbac_telemetry.Metrics.Handle.inc m_events ~by:(s.events - c.c_events);
+  c.c_events <- s.events;
+  Mbac_telemetry.Metrics.Handle.inc m_admitted ~by:(s.admitted - c.c_admitted);
+  c.c_admitted <- s.admitted;
+  Mbac_telemetry.Metrics.Handle.inc m_departed ~by:(s.departed - c.c_departed);
+  c.c_departed <- s.departed;
+  Mbac_telemetry.Metrics.Handle.inc m_blocked ~by:(s.blocked - c.c_blocked);
+  c.c_blocked <- s.blocked;
+  Mbac_telemetry.Metrics.Handle.inc m_reneg_attempts
+    ~by:(s.reneg_attempts - c.c_reneg_attempts);
+  c.c_reneg_attempts <- s.reneg_attempts;
+  Mbac_telemetry.Metrics.Handle.inc m_reneg_failures
+    ~by:(s.reneg_failures - c.c_reneg_failures);
+  c.c_reneg_failures <- s.reneg_failures;
+  Mbac_telemetry.Metrics.Handle.add m_time (upto -. c.c_time);
+  c.c_time <- upto
+
+(* Time-series boundaries crossed by the segment ending at [t1]: close
+   each window on the virtual-time grid — fold counter deltas, sample
+   the window gauges, render the line.  Out of line and gated on the
+   enabled flag in [record_segment], so the hot path pays one atomic
+   read when the series is off. *)
+let emit_windows s ~t1 =
+  while s.hot.next_window <= t1 do
+    let b = s.hot.next_window in
+    s.hot.next_window <- b +. Mbac_telemetry.Timeseries.interval ();
+    sync_counters s ~upto:b;
+    Mbac_telemetry.Metrics.Handle.set_gauge g_window_flows (float_of_int s.n);
+    Mbac_telemetry.Metrics.Handle.set_gauge g_window_load s.hot.sum_rate;
+    Mbac_telemetry.Timeseries.emit_window ~t:b
+  done
+
 let feed_buffer s b ~t0 ~t1 =
   (* feed through the warm-up (to build up a realistic level) but
      discard the counters at the warm-up boundary, like the overflow
@@ -332,6 +412,7 @@ let[@inline] record_segment s ~t1 =
   Measurement.record s.meas ~t0 ~t1 ~load:s.hot.sum_rate;
   if t1 > t0 then track_overflow s ~t0 ~t1;
   if Mbac_telemetry.Trace.enabled () then emit_snapshots s ~t1;
+  if Mbac_telemetry.Timeseries.enabled () then emit_windows s ~t1;
   (match s.buffer with
   | Some b when t1 > t0 -> feed_buffer s b ~t0 ~t1
   | Some _ | None -> ());
@@ -467,11 +548,25 @@ let start rng cfg ~controller ~make_source =
       hot =
         { now = 0.0; sum_rate = 0.0; sum_sq = 0.0;
           ovf_start = nan; ovf_excess = 0.0; ovf_time = 0.0;
-          next_snapshot = cfg.warmup };
+          next_snapshot = cfg.warmup;
+          next_window =
+            (if Mbac_telemetry.Timeseries.enabled () then
+               Mbac_telemetry.Timeseries.interval ()
+             else Float.infinity) };
       n = 0; admitted = 0; departed = 0; blocked = 0;
       reneg_attempts = 0; reneg_failures = 0; events = 0;
-      ovf_episodes = 0 }
+      ovf_episodes = 0;
+      cursor =
+        { c_events = 0; c_admitted = 0; c_departed = 0; c_blocked = 0;
+          c_reneg_attempts = 0; c_reneg_failures = 0; c_time = 0.0 } }
   in
+  Mbac_telemetry.Timeseries.start_run
+    ~label:(Mbac.Controller.name controller);
+  if Mbac_telemetry.Trace.enabled () then
+    Mbac_telemetry.Trace.emit ~t:0.0 ~kind:"run_start"
+      [ ("controller",
+         Mbac_telemetry.Trace.Str (Mbac.Controller.name controller));
+        ("capacity", Mbac_telemetry.Trace.Float cfg.capacity) ];
   (let obs0 = observation s in
    Mbac.Controller.observe controller obs0;
    match cfg.arrival with
@@ -526,11 +621,18 @@ let clone s ~rng =
     hot =
       { now = s.hot.now; sum_rate = s.hot.sum_rate; sum_sq = s.hot.sum_sq;
         ovf_start = s.hot.ovf_start; ovf_excess = s.hot.ovf_excess;
-        ovf_time = s.hot.ovf_time; next_snapshot = s.hot.next_snapshot };
+        ovf_time = s.hot.ovf_time; next_snapshot = s.hot.next_snapshot;
+        next_window = s.hot.next_window };
     n = s.n; admitted = s.admitted; departed = s.departed;
     blocked = s.blocked; reneg_attempts = s.reneg_attempts;
     reneg_failures = s.reneg_failures; events = s.events;
-    ovf_episodes = s.ovf_episodes }
+    ovf_episodes = s.ovf_episodes;
+    cursor =
+      { c_events = s.cursor.c_events; c_admitted = s.cursor.c_admitted;
+        c_departed = s.cursor.c_departed; c_blocked = s.cursor.c_blocked;
+        c_reneg_attempts = s.cursor.c_reneg_attempts;
+        c_reneg_failures = s.cursor.c_reneg_failures;
+        c_time = s.cursor.c_time } }
 
 type snapshot = state
 
@@ -578,20 +680,15 @@ let run rng cfg ~controller ~make_source =
     Mbac_telemetry.Metrics.Handle.add m_ovf_excess s.hot.ovf_excess;
     Mbac_telemetry.Metrics.Handle.observe m_ovf_duration
       (duration /. s.cfg.batch_length);
+    Mbac_telemetry.Metrics.Handle.observe_q m_ovf_duration_s duration;
     Mbac_telemetry.Trace.emit ~t:s.hot.now ~kind:"overflow_end"
       [ ("start", Mbac_telemetry.Trace.Float s.hot.ovf_start);
         ("duration", Mbac_telemetry.Trace.Float duration);
         ("excess_volume", Mbac_telemetry.Trace.Float s.hot.ovf_excess);
         ("truncated", Mbac_telemetry.Trace.Bool true) ]
   end;
-  Mbac_telemetry.Metrics.inc ~by:s.events "sim_events_total";
-  Mbac_telemetry.Metrics.inc ~by:s.admitted "sim_flows_admitted_total";
-  Mbac_telemetry.Metrics.inc ~by:s.departed "sim_flows_departed_total";
-  Mbac_telemetry.Metrics.inc ~by:s.blocked "sim_flows_blocked_total";
-  Mbac_telemetry.Metrics.inc ~by:s.reneg_attempts "sim_reneg_attempts_total";
-  Mbac_telemetry.Metrics.inc ~by:s.reneg_failures "sim_reneg_failures_total";
+  sync_counters s ~upto:s.hot.now;
   Mbac_telemetry.Metrics.inc "sim_runs_total";
-  Mbac_telemetry.Metrics.add "sim_time_simulated" s.hot.now;
   (match s.buffer with
   | Some b ->
       Mbac_telemetry.Metrics.add "sim_buffer_lost_volume"
@@ -651,6 +748,16 @@ let run rng cfg ~controller ~make_source =
       ("overflow_time", Mbac_telemetry.Trace.Float s.hot.ovf_time);
       ("admitted", Mbac_telemetry.Trace.Int s.admitted);
       ("events", Mbac_telemetry.Trace.Int s.events) ];
+  (* Close the partial window left open at run end (it carries the
+     run-total counters folded above and the headline gauges). *)
+  if
+    Mbac_telemetry.Timeseries.enabled ()
+    && s.hot.now > s.hot.next_window -. Mbac_telemetry.Timeseries.interval ()
+  then begin
+    Mbac_telemetry.Metrics.Handle.set_gauge g_window_flows (float_of_int s.n);
+    Mbac_telemetry.Metrics.Handle.set_gauge g_window_load s.hot.sum_rate;
+    Mbac_telemetry.Timeseries.emit_window ~t:s.hot.now
+  end;
   result
 
 let pp_result fmt r =

@@ -63,12 +63,38 @@ let admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source =
         ("sigma_hat", Mbac_telemetry.Trace.Float sigma_hat) ];
   ({ m_0; mu_hat; sigma_hat }, Array.sub sources 0 m_0)
 
+(* The impulsive model has no clock; its virtual time for the windowed
+   series ([--series-out]) is the burst index, so --series-interval T
+   means "one window per T bursts". *)
+let series_stride () =
+  max 1 (int_of_float (Mbac_telemetry.Timeseries.interval ()))
+
+let series_start ~variant ~n_offered =
+  if Mbac_telemetry.Timeseries.enabled () then
+    Mbac_telemetry.Timeseries.start_run
+      ~label:(Printf.sprintf "impulsive-%s[n=%d]" variant n_offered)
+
+let[@inline] series_tick ~stride rep =
+  if rep mod stride = 0 then
+    Mbac_telemetry.Timeseries.emit_window ~t:(float_of_int rep)
+
+let series_finish ~stride ~replications =
+  if Mbac_telemetry.Timeseries.enabled () && replications mod stride <> 0 then
+    Mbac_telemetry.Timeseries.emit_window ~t:(float_of_int replications)
+
 let m0_samples rng ~replications ~n_offered ~capacity ~alpha_ce ~make_source =
-  Array.init replications (fun _ ->
-      let adm, _ =
-        admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source
-      in
-      float_of_int adm.m_0)
+  series_start ~variant:"m0" ~n_offered;
+  let stride = series_stride () in
+  let samples =
+    Array.init replications (fun i ->
+        let adm, _ =
+          admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source
+        in
+        series_tick ~stride (i + 1);
+        float_of_int adm.m_0)
+  in
+  series_finish ~stride ~replications;
+  samples
 
 (* Advance every source to time [t] by firing pending changes. *)
 let advance_to sources t =
@@ -85,7 +111,9 @@ let total_rate sources =
 let steady_state_overflow rng ~replications ~n_offered ~capacity ~alpha_ce
     ~decorrelate_time ~samples_per_replication ~sample_spacing ~make_source =
   let per_rep = Mbac_stats.Welford.create () in
-  for _ = 1 to replications do
+  series_start ~variant:"steady" ~n_offered;
+  let stride = series_stride () in
+  for rep = 1 to replications do
     let _, admitted =
       admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source
     in
@@ -99,8 +127,10 @@ let steady_state_overflow rng ~replications ~n_offered ~capacity ~alpha_ce
       (float_of_int !hits /. float_of_int samples_per_replication);
     Mbac_telemetry.Metrics.inc ~by:samples_per_replication
       "impulsive_overflow_samples_total";
-    Mbac_telemetry.Metrics.inc ~by:!hits "impulsive_overflow_hits_total"
+    Mbac_telemetry.Metrics.inc ~by:!hits "impulsive_overflow_hits_total";
+    series_tick ~stride rep
   done;
+  series_finish ~stride ~replications;
   let se =
     Mbac_stats.Welford.std per_rep /. sqrt (float_of_int replications)
   in
@@ -111,7 +141,9 @@ let overflow_vs_time rng ~replications ~n_offered ~capacity ~alpha_ce
   let times = Array.copy times in
   Array.sort compare times;
   let hits = Array.make (Array.length times) 0 in
-  for _ = 1 to replications do
+  series_start ~variant:"transient" ~n_offered;
+  let stride = series_stride () in
+  for rep = 1 to replications do
     let _, admitted =
       admit_burst rng ~n_offered ~capacity ~alpha_ce ~make_source
     in
@@ -131,6 +163,8 @@ let overflow_vs_time rng ~replications ~n_offered ~capacity ~alpha_ce
               load := !load +. Mbac_traffic.Source.rate s)
           admitted;
         if !load > capacity then hits.(ti) <- hits.(ti) + 1)
-      times
+      times;
+    series_tick ~stride rep
   done;
+  series_finish ~stride ~replications;
   Array.map (fun h -> float_of_int h /. float_of_int replications) hits

@@ -66,18 +66,21 @@ type t =
   | Sum of float ref
   | Gauge of float ref
   | Hist of Histogram.t
+  | Qhist of Quantile_histogram.t
 
 let kind_name = function
   | Counter _ -> "counter"
   | Sum _ -> "sum"
   | Gauge _ -> "gauge"
   | Hist _ -> "histogram"
+  | Qhist _ -> "quantile_histogram"
 
 let copy = function
   | Counter r -> Counter (ref !r)
   | Sum r -> Sum (ref !r)
   | Gauge r -> Gauge (ref !r)
   | Hist h -> Hist (Histogram.copy h)
+  | Qhist h -> Qhist (Quantile_histogram.copy h)
 
 let merge_into ~into src =
   match (into, src) with
@@ -85,7 +88,8 @@ let merge_into ~into src =
   | Sum a, Sum b -> a := !a +. !b
   | Gauge a, Gauge b -> a := !b
   | Hist a, Hist b -> Histogram.merge_into ~into:a b
-  | (Counter _ | Sum _ | Gauge _ | Hist _), _ ->
+  | Qhist a, Qhist b -> Quantile_histogram.merge_into ~into:a b
+  | (Counter _ | Sum _ | Gauge _ | Hist _ | Qhist _), _ ->
       invalid_arg
         (Printf.sprintf "Metric.merge_into: kind mismatch (%s vs %s)"
            (kind_name into) (kind_name src))

@@ -50,9 +50,12 @@ type t =
   | Sum of float ref        (** accumulated float quantity *)
   | Gauge of float ref      (** last observed value *)
   | Hist of Histogram.t
+  | Qhist of Quantile_histogram.t
+      (** log-bucketed, quantile-readable ({!Quantile_histogram}) *)
 
 val kind_name : t -> string
-(** ["counter"] | ["sum"] | ["gauge"] | ["histogram"]. *)
+(** ["counter"] | ["sum"] | ["gauge"] | ["histogram"] |
+    ["quantile_histogram"]. *)
 
 val copy : t -> t
 

@@ -30,6 +30,17 @@ let observe name ~lo ~hi ~bins x =
   | Metric.Hist h -> Metric.Histogram.observe h x
   | cell -> kind_error name cell "histogram"
 
+(* Quantile histograms always use the default (wide) geometry, so every
+   call site of every name shares one shape and shards always merge. *)
+let observe_q name x =
+  let shard = Shard.current () in
+  match
+    Shard.get_or_create shard name (fun () ->
+        Metric.Qhist (Quantile_histogram.create ()))
+  with
+  | Metric.Qhist h -> Quantile_histogram.observe h x
+  | cell -> kind_error name cell "quantile_histogram"
+
 (* Pre-resolved handles: the name -> cell binding is established once
    per (handle, shard) pair instead of once per call, so hot-path
    updates skip the string hash and table probe.  A handle records only
@@ -44,6 +55,7 @@ module Handle = struct
     | Sum
     | Gauge
     | Hist of { lo : float; hi : float; bins : int }
+    | Qhist
 
   type t = { id : int; name : string; spec : spec }
 
@@ -53,6 +65,7 @@ module Handle = struct
   let sum name = make name Sum
   let gauge name = make name Gauge
   let histogram name ~lo ~hi ~bins = make name (Hist { lo; hi; bins })
+  let qhist name = make name Qhist
   let name h = h.name
 
   let build = function
@@ -61,6 +74,7 @@ module Handle = struct
     | Gauge -> Metric.Gauge (ref 0.0)
     | Hist { lo; hi; bins } ->
         Metric.Hist (Metric.Histogram.create ~lo ~hi ~bins)
+    | Qhist -> Metric.Qhist (Quantile_histogram.create ())
 
   (* First touch of this handle in the current shard: bind through the
      string table (existing cell wins, exactly like the name-based API)
@@ -95,4 +109,9 @@ module Handle = struct
     match resolve h with
     | Metric.Hist hist -> Metric.Histogram.observe hist x
     | cell -> kind_error h.name cell "histogram"
+
+  let[@inline] observe_q h x =
+    match resolve h with
+    | Metric.Qhist hist -> Quantile_histogram.observe hist x
+    | cell -> kind_error h.name cell "quantile_histogram"
 end

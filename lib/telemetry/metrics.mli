@@ -25,6 +25,12 @@ val observe : string -> lo:float -> hi:float -> bins:int -> float -> unit
     shard; call sites for one name must agree on them, since shards with
     differently-shaped histograms of the same name refuse to merge. *)
 
+val observe_q : string -> float -> unit
+(** Observe a value into a log-bucketed {!Quantile_histogram}.  Always
+    uses the default geometry ([1e-9 .. 1e15], 20 buckets per decade),
+    so every call site of every name shares one shape and shards always
+    merge — use it where the natural scale varies. *)
+
 (** Pre-resolved metric handles for hot paths.
 
     A handle names a metric once, at registration; updating through it
@@ -48,10 +54,15 @@ module Handle : sig
   (** Shape arguments apply only if this handle is the first to create
       the histogram in a shard, mirroring {!observe}. *)
 
+  val qhist : string -> t
+  (** Log-bucketed quantile histogram at the default geometry,
+      mirroring {!observe_q}. *)
+
   val name : t -> string
 
   val inc : ?by:int -> t -> unit
   val add : t -> float -> unit
   val set_gauge : t -> float -> unit
   val observe : t -> float -> unit
+  val observe_q : t -> float -> unit
 end

@@ -5,25 +5,40 @@ type stat = {
   max_ns : int64;
 }
 
+(* Internal accumulator: the headline stat plus a log-bucketed histogram
+   of span durations (in nanoseconds), so the report and the JSON
+   archive can show p50/p90/p99 and not just the mean. *)
+type acc = {
+  mutable a_count : int;
+  mutable a_total : int64;
+  mutable a_min : int64;
+  mutable a_max : int64;
+  hist : Quantile_histogram.t;
+}
+
 let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
-let table : (string, stat) Hashtbl.t = Hashtbl.create 32
+let table : (string, acc) Hashtbl.t = Hashtbl.create 32
 let lock = Mutex.create ()
 
 let record name ns =
   Mutex.lock lock;
   (match Hashtbl.find_opt table name with
   | None ->
-      Hashtbl.replace table name
-        { count = 1; total_ns = ns; min_ns = ns; max_ns = ns }
-  | Some s ->
-      Hashtbl.replace table name
-        { count = s.count + 1;
-          total_ns = Int64.add s.total_ns ns;
-          min_ns = (if ns < s.min_ns then ns else s.min_ns);
-          max_ns = (if ns > s.max_ns then ns else s.max_ns) });
+      let a =
+        { a_count = 1; a_total = ns; a_min = ns; a_max = ns;
+          hist = Quantile_histogram.create () }
+      in
+      Quantile_histogram.observe a.hist (Int64.to_float ns);
+      Hashtbl.replace table name a
+  | Some a ->
+      a.a_count <- a.a_count + 1;
+      a.a_total <- Int64.add a.a_total ns;
+      if ns < a.a_min then a.a_min <- ns;
+      if ns > a.a_max then a.a_max <- ns;
+      Quantile_histogram.observe a.hist (Int64.to_float ns));
   Mutex.unlock lock
 
 let span name f =
@@ -34,11 +49,24 @@ let span name f =
     Fun.protect ~finally f
   end
 
-let stats () =
+let stat_of_acc a =
+  { count = a.a_count; total_ns = a.a_total; min_ns = a.a_min;
+    max_ns = a.a_max }
+
+let fold f =
   Mutex.lock lock;
-  let l = Hashtbl.fold (fun name s acc -> (name, s) :: acc) table [] in
+  let l = Hashtbl.fold (fun name a acc -> f name a :: acc) table [] in
   Mutex.unlock lock;
   List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let stats () = fold (fun name a -> (name, stat_of_acc a))
+
+let quantiles_ms () =
+  fold (fun name a ->
+      ( name,
+        ( Quantile_histogram.quantile a.hist 0.5 /. 1e6,
+          Quantile_histogram.quantile a.hist 0.9 /. 1e6,
+          Quantile_histogram.quantile a.hist 0.99 /. 1e6 ) ))
 
 let reset () =
   Mutex.lock lock;
@@ -48,15 +76,35 @@ let reset () =
 let ms ns = Int64.to_float ns /. 1e6
 
 let report fmt =
-  match stats () with
+  match fold (fun name a -> (name, a)) with
   | [] -> Format.fprintf fmt "profile: no spans recorded@."
   | l ->
-      Format.fprintf fmt "profile: %-40s %10s %12s %12s %12s %12s@." "span"
-        "count" "total ms" "mean ms" "min ms" "max ms";
+      Format.fprintf fmt
+        "profile: %-40s %10s %12s %12s %12s %12s %12s %12s@." "span" "count"
+        "total ms" "mean ms" "p50 ms" "p99 ms" "min ms" "max ms";
       List.iter
-        (fun (name, s) ->
-          Format.fprintf fmt "profile: %-40s %10d %12.3f %12.3f %12.3f %12.3f@."
-            name s.count (ms s.total_ns)
-            (ms s.total_ns /. float_of_int s.count)
-            (ms s.min_ns) (ms s.max_ns))
+        (fun (name, a) ->
+          Format.fprintf fmt
+            "profile: %-40s %10d %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f@."
+            name a.a_count (ms a.a_total)
+            (ms a.a_total /. float_of_int a.a_count)
+            (Quantile_histogram.quantile a.hist 0.5 /. 1e6)
+            (Quantile_histogram.quantile a.hist 0.99 /. 1e6)
+            (ms a.a_min) (ms a.a_max))
         l
+
+let to_json () =
+  let spans =
+    fold (fun name a ->
+        ( name,
+          Json.obj
+            [ ("count", Json.int a.a_count);
+              ("total_ms", Json.float (ms a.a_total));
+              ("mean_ms", Json.float (ms a.a_total /. float_of_int a.a_count));
+              ("p50_ms", Json.float (Quantile_histogram.quantile a.hist 0.5 /. 1e6));
+              ("p90_ms", Json.float (Quantile_histogram.quantile a.hist 0.9 /. 1e6));
+              ("p99_ms", Json.float (Quantile_histogram.quantile a.hist 0.99 /. 1e6));
+              ("min_ms", Json.float (ms a.a_min));
+              ("max_ms", Json.float (ms a.a_max)) ] ))
+  in
+  Json.obj spans ^ "\n"

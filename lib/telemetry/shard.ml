@@ -1,7 +1,21 @@
+(* Windowed time-series state, owned by [Timeseries].  [base] holds
+   deep copies of this shard's metric cells as of the last window
+   boundary (or run start), so a window line can render the deltas. *)
+type series = {
+  buf : Buffer.t;
+  mutable label_override : string;  (* "" = none; survives runs *)
+  mutable run_label : string;
+  mutable runs : int;               (* runs started in this shard *)
+  mutable windows : int;            (* windows emitted in the current run *)
+  mutable active : bool;            (* a run has started *)
+  base : (string, Metric.t) Hashtbl.t;
+}
+
 type t = {
   table : (string, Metric.t) Hashtbl.t;
   trace : Buffer.t;
   emit_counts : (string, int ref) Hashtbl.t;
+  series : series;
   (* Per-shard cache of handle-resolved metrics, indexed by the global
      handle id (see [Metrics.Handle]).  Purely an accelerator: the
      string [table] stays the source of truth for snapshots and merges,
@@ -15,6 +29,14 @@ let create () =
   { table = Hashtbl.create 64;
     trace = Buffer.create 256;
     emit_counts = Hashtbl.create 8;
+    series =
+      { buf = Buffer.create 0;
+        label_override = "";
+        run_label = "";
+        runs = 0;
+        windows = 0;
+        active = false;
+        base = Hashtbl.create 8 };
     cells = [||] }
 
 let[@inline] cell t ~id =
@@ -58,6 +80,7 @@ let metrics t =
 
 let is_empty t =
   Hashtbl.length t.table = 0 && Buffer.length t.trace = 0
+  && Buffer.length t.series.buf = 0
 
 let merge_into_current src =
   (* The pool's join merges one shard per task, serially, in the
@@ -71,10 +94,12 @@ let merge_into_current src =
         | Some into -> Metric.merge_into ~into cell
         | None -> Hashtbl.replace dst.table name (Metric.copy cell))
       (metrics src);
-    Buffer.add_buffer dst.trace src.trace
+    Buffer.add_buffer dst.trace src.trace;
+    Buffer.add_buffer dst.series.buf src.series.buf
   end
 
 let trace_buffer t = t.trace
+let series t = t.series
 
 let bump_emit_count t kind =
   match Hashtbl.find_opt t.emit_counts kind with

@@ -19,6 +19,21 @@
 
 type t
 
+(** Windowed time-series state ({!Timeseries} owns the semantics; it
+    lives here so it shards, merges, and resets with the rest of the
+    telemetry).  Only [buf] takes part in merging — the bookkeeping
+    fields are private to the shard that runs the simulation. *)
+type series = {
+  buf : Buffer.t;           (** rendered JSONL window lines *)
+  mutable label_override : string;
+  mutable run_label : string;
+  mutable runs : int;
+  mutable windows : int;
+  mutable active : bool;
+  base : (string, Metric.t) Hashtbl.t;
+      (** per-metric baseline copies as of the last window boundary *)
+}
+
 val create : unit -> t
 
 val current : unit -> t
@@ -35,14 +50,14 @@ val reset_current : unit -> unit
     snapshots. *)
 
 val is_empty : t -> bool
-(** No metrics registered and an empty trace buffer — i.e. merging this
-    shard anywhere is a no-op. *)
+(** No metrics registered, an empty trace buffer, and an empty series
+    buffer — i.e. merging this shard anywhere is a no-op. *)
 
 val merge_into_current : t -> unit
 (** Merge a (quiescent) shard's metrics into the current shard per
-    {!Metric.merge_into} and append its trace buffer ({!is_empty}
-    shards are skipped without touching the destination).  The source
-    shard must no longer be mutated concurrently. *)
+    {!Metric.merge_into} and append its trace and series buffers
+    ({!is_empty} shards are skipped without touching the destination).
+    The source shard must no longer be mutated concurrently. *)
 
 (** {2 Metric table} *)
 
@@ -67,6 +82,9 @@ val metrics : t -> (string * Metric.t) list
 (** {2 Trace buffer} *)
 
 val trace_buffer : t -> Buffer.t
+
+val series : t -> series
+(** This shard's time-series state; use through {!Timeseries}. *)
 
 val bump_emit_count : t -> string -> int
 (** Post-increment the per-event-kind emission counter (used for

@@ -8,11 +8,23 @@ type histogram = {
   count : int;
 }
 
+type qhistogram = {
+  q_lo : float;
+  q_buckets_per_decade : int;
+  q_decades : int;
+  q_counts : int array;
+  q_underflow : int;
+  q_overflow : int;
+  q_sum : float;
+  q_count : int;
+}
+
 type value =
   | Counter of int
   | Sum of float
   | Gauge of float
   | Histogram of histogram
+  | Qhistogram of qhistogram
 
 module M = Map.Make (String)
 
@@ -25,6 +37,7 @@ let kind_name = function
   | Sum _ -> "sum"
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
+  | Qhistogram _ -> "quantile_histogram"
 
 let merge_values name a b =
   match (a, b) with
@@ -44,7 +57,23 @@ let merge_values name a b =
           overflow = x.overflow + y.overflow;
           sum = x.sum +. y.sum;
           count = x.count + y.count }
-  | (Counter _ | Sum _ | Gauge _ | Histogram _), _ ->
+  | Qhistogram x, Qhistogram y ->
+      if
+        x.q_lo <> y.q_lo
+        || x.q_buckets_per_decade <> y.q_buckets_per_decade
+        || x.q_decades <> y.q_decades
+      then
+        invalid_arg
+          (Printf.sprintf "Snapshot.merge: quantile histogram %S shape mismatch"
+             name);
+      Qhistogram
+        { x with
+          q_counts = Array.map2 ( + ) x.q_counts y.q_counts;
+          q_underflow = x.q_underflow + y.q_underflow;
+          q_overflow = x.q_overflow + y.q_overflow;
+          q_sum = x.q_sum +. y.q_sum;
+          q_count = x.q_count + y.q_count }
+  | (Counter _ | Sum _ | Gauge _ | Histogram _ | Qhistogram _), _ ->
       invalid_arg
         (Printf.sprintf "Snapshot.merge: %S kind mismatch (%s vs %s)" name
            (kind_name a) (kind_name b))
@@ -69,6 +98,16 @@ let value_of_cell = function
           overflow = Metric.Histogram.overflow h;
           sum = Metric.Histogram.sum h;
           count = Metric.Histogram.count h }
+  | Metric.Qhist h ->
+      Qhistogram
+        { q_lo = Quantile_histogram.lo h;
+          q_buckets_per_decade = Quantile_histogram.buckets_per_decade h;
+          q_decades = Quantile_histogram.decades h;
+          q_counts = Quantile_histogram.counts h;
+          q_underflow = Quantile_histogram.underflow h;
+          q_overflow = Quantile_histogram.overflow h;
+          q_sum = Quantile_histogram.sum h;
+          q_count = Quantile_histogram.count h }
 
 let current () =
   of_list
@@ -91,9 +130,30 @@ let equal_value a b =
       x.lo = y.lo && x.hi = y.hi && x.counts = y.counts
       && x.underflow = y.underflow && x.overflow = y.overflow
       && x.sum = y.sum && x.count = y.count
-  | (Counter _ | Sum _ | Gauge _ | Histogram _), _ -> false
+  | Qhistogram x, Qhistogram y ->
+      x.q_lo = y.q_lo
+      && x.q_buckets_per_decade = y.q_buckets_per_decade
+      && x.q_decades = y.q_decades && x.q_counts = y.q_counts
+      && x.q_underflow = y.q_underflow && x.q_overflow = y.q_overflow
+      && x.q_sum = y.q_sum && x.q_count = y.q_count
+  | (Counter _ | Sum _ | Gauge _ | Histogram _ | Qhistogram _), _ -> false
 
 let equal a b = M.equal equal_value a b
+
+let qhist_quantile h q =
+  Quantile_histogram.quantile_of ~lo:h.q_lo
+    ~buckets_per_decade:h.q_buckets_per_decade ~decades:h.q_decades
+    ~underflow:h.q_underflow ~overflow:h.q_overflow ~counts:h.q_counts q
+
+(* Sparse rendering for the 480-bucket default geometry: only the
+   non-zero buckets, as [index, count] pairs. *)
+let sparse_buckets counts =
+  let pairs = ref [] in
+  for i = Array.length counts - 1 downto 0 do
+    if counts.(i) <> 0 then
+      pairs := Json.arr [ Json.int i; Json.int counts.(i) ] :: !pairs
+  done;
+  Json.arr !pairs
 
 let json_of_value = function
   | Counter c -> Json.obj [ ("kind", Json.string "counter"); ("value", Json.int c) ]
@@ -110,6 +170,21 @@ let json_of_value = function
           ("counts", Json.arr (List.map Json.int (Array.to_list h.counts)));
           ("sum", Json.float h.sum);
           ("count", Json.int h.count) ]
+  | Qhistogram h ->
+      Json.obj
+        [ ("kind", Json.string "quantile_histogram");
+          ("lo", Json.float h.q_lo);
+          ("buckets_per_decade", Json.int h.q_buckets_per_decade);
+          ("decades", Json.int h.q_decades);
+          ("underflow", Json.int h.q_underflow);
+          ("overflow", Json.int h.q_overflow);
+          ("p50", Json.float (qhist_quantile h 0.5));
+          ("p90", Json.float (qhist_quantile h 0.9));
+          ("p99", Json.float (qhist_quantile h 0.99));
+          ("p999", Json.float (qhist_quantile h 0.999));
+          ("buckets", sparse_buckets h.q_counts);
+          ("sum", Json.float h.q_sum);
+          ("count", Json.int h.q_count) ]
 
 let to_json t =
   Json.obj (List.map (fun (name, v) -> (name, json_of_value v)) (M.bindings t))
@@ -163,7 +238,39 @@ let to_prometheus t =
             (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cumulative);
           Buffer.add_string b
             (Printf.sprintf "%s_sum %s\n" name (prom_float h.sum));
-          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.count))
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.count);
+          (* The cumulative buckets fold underflow in and cap overflow at
+             +Inf, so out-of-range observations are invisible there;
+             expose them as explicit companion counters. *)
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s_underflow_total counter\n" name);
+          Buffer.add_string b
+            (Printf.sprintf "%s_underflow_total %d\n" name h.underflow);
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s_overflow_total counter\n" name);
+          Buffer.add_string b
+            (Printf.sprintf "%s_overflow_total %d\n" name h.overflow)
+      | Qhistogram h ->
+          (* Rendered as a Prometheus summary: pre-computed quantiles
+             rather than 480 mostly-empty le-buckets. *)
+          Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" name);
+          List.iter
+            (fun (label, q) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name label
+                   (prom_float (qhist_quantile h q))))
+            [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99); ("0.999", 0.999) ];
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" name (prom_float h.q_sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.q_count);
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s_underflow_total counter\n" name);
+          Buffer.add_string b
+            (Printf.sprintf "%s_underflow_total %d\n" name h.q_underflow);
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s_overflow_total counter\n" name);
+          Buffer.add_string b
+            (Printf.sprintf "%s_overflow_total %d\n" name h.q_overflow))
     t;
   Buffer.contents b
 

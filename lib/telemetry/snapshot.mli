@@ -15,11 +15,23 @@ type histogram = {
   count : int;          (** includes out-of-range and non-finite *)
 }
 
+type qhistogram = {
+  q_lo : float;
+  q_buckets_per_decade : int;
+  q_decades : int;
+  q_counts : int array;  (** dense in-range buckets (see {!Quantile_histogram}) *)
+  q_underflow : int;
+  q_overflow : int;
+  q_sum : float;
+  q_count : int;
+}
+
 type value =
   | Counter of int
   | Sum of float
   | Gauge of float
   | Histogram of histogram
+  | Qhistogram of qhistogram
 
 type t
 
@@ -46,13 +58,20 @@ val equal : t -> t -> bool
 
 val to_json : t -> string
 (** One JSON object keyed by metric name, names sorted; each value
-    carries a ["kind"] discriminator.  Deterministic byte-for-byte. *)
+    carries a ["kind"] discriminator.  Quantile histograms render their
+    non-zero buckets sparsely plus deterministic [p50]/[p90]/[p99]/
+    [p999] readouts.  Deterministic byte-for-byte. *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition: counters/sums as [counter], gauges as
     [gauge], histograms as cumulative [le]-bucketed [histogram] series
     (the underflow bucket folds into every cumulative count, per the
-    Prometheus convention that buckets count everything [<= le]). *)
+    Prometheus convention that buckets count everything [<= le]), and
+    quantile histograms as [summary] series with pre-computed quantile
+    labels.  Both histogram kinds also emit explicit
+    [<name>_underflow_total] / [<name>_overflow_total] counters, since
+    out-of-range observations are invisible in the cumulative
+    buckets. *)
 
 val write_files : t -> path:string -> unit
 (** Write [to_json] to [path] and [to_prometheus] to [path ^ ".prom"]. *)

@@ -1,0 +1,69 @@
+(** Flight-recorder time series: periodic windowed metric snapshots
+    keyed to {e virtual} time, rendered as JSON Lines.
+
+    End-of-run metric snapshots hide everything the paper's Figs 5–10
+    are about — estimator drift, overflow clustering, utilization
+    transients.  A time series fixes that without weakening the
+    determinism contract: drivers emit one {e window} line per interval
+    of virtual time (simulation time in the continuous-load simulator,
+    burst index in the impulsive driver), each line carrying the
+    {e deltas} of counters, sums, and histogram buckets since the
+    previous boundary plus the current gauge values.  Because window
+    boundaries live on the virtual-time grid and lines accumulate in
+    the per-task shard ({!Shard.series}) — merged at the pool join in
+    submission order exactly like trace buffers — the output is
+    byte-identical for every [--jobs] value.
+
+    Enabled by [--series-out FILE]; [--series-interval T] sets the
+    window length (virtual-time units; bursts for the impulsive
+    driver).  When disabled, {!emit_window} and {!start_run} cost one
+    atomic read.
+
+    {2 Line schema}
+
+    {v
+{"t":<window end>,"kind":"window","label":"<run label>","run":R,
+ "window":W,"counters":{name:delta,...},"sums":{name:delta,...},
+ "gauges":{name:current,...},"histograms":{name:{...delta...},...}}
+    v}
+
+    [run] counts runs started in the shard (0-based), [window] counts
+    windows within the run.  Zero-delta counters/sums and unchanged
+    histograms are omitted; gauges always render their current value.
+    Histogram deltas carry [count]/[sum]/[underflow]/[overflow]
+    increments and the non-zero bucket increments as [[index, delta]]
+    pairs, with a [kind] discriminator matching the metric kind.
+    Rendering is hand-rolled ({!Json}): deterministic byte-for-byte. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_interval : float -> unit
+(** Window length in virtual-time units.  Drivers read it at run start.
+    @raise Invalid_argument unless finite and positive. *)
+
+val interval : unit -> float
+
+val set_label : string -> unit
+(** Sticky label override for the calling domain's shard: when
+    non-empty, it replaces the label of every subsequent
+    {!start_run} — the experiment layer uses it to tag windows with the
+    sweep-cell name instead of the bare controller name. *)
+
+val start_run : label:string -> unit
+(** Begin a new run in the calling domain's shard: bump the run index,
+    reset the window index, and rebase the deltas so the first window
+    covers exactly this run's activity.  No-op when disabled. *)
+
+val emit_window : t:float -> unit
+(** Render one window line ending at virtual time [t] into the shard's
+    series buffer and rebase the deltas.  Always renders — an empty
+    window documents that nothing happened.  If no run was started, an
+    implicit run 0 begins (labelled by {!set_label}'s override, if
+    any).  No-op when disabled. *)
+
+val contents : unit -> string
+(** The calling domain's accumulated series lines (tests). *)
+
+val dump : out_channel -> unit
+(** Write the calling domain's series buffer ([--series-out]). *)

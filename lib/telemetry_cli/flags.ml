@@ -4,7 +4,10 @@ type t = {
   metrics_out : string option;
   trace_out : string option;
   trace_sample : int;
+  series_out : string option;
+  series_interval : float;
   profile : bool;
+  profile_out : string option;
   log_level : Logs.level option;
 }
 
@@ -31,6 +34,21 @@ let trace_sample_arg =
                  (per-decision and per-burst events); episode and run \
                  boundary events are always kept.")
 
+let series_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "series-out" ] ~docv:"FILE"
+           ~doc:"Enable the windowed metric time series and write it as \
+                 JSON Lines to $(docv): one window per --series-interval \
+                 of virtual time with counter/sum/histogram deltas and \
+                 current gauges.  Byte-identical for every --jobs value.")
+
+let series_interval_arg =
+  Arg.(value & opt float 100.0
+       & info [ "series-interval" ] ~docv:"T"
+           ~doc:"Time-series window length in virtual-time units \
+                 (simulated time for the continuous-load simulator, \
+                 bursts for the impulsive driver).")
+
 let profile_arg =
   Arg.(value & flag
        & info [ "profile" ]
@@ -39,19 +57,37 @@ let profile_arg =
                  report to stderr on exit.  Never perturbs stdout, \
                  metrics, or trace output.")
 
-let make metrics_out trace_out trace_sample profile log_level =
-  { metrics_out; trace_out; trace_sample; profile; log_level }
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Measure wall-clock profiling spans and write the span \
+                 table as JSON to $(docv) on exit (implies span \
+                 recording; combine with --profile for the stderr \
+                 table).")
+
+let make metrics_out trace_out trace_sample series_out series_interval profile
+    profile_out log_level =
+  { metrics_out; trace_out; trace_sample; series_out; series_interval;
+    profile; profile_out; log_level }
 
 let term =
   Term.(
     const make $ metrics_out_arg $ trace_out_arg $ trace_sample_arg
-    $ profile_arg $ Logs_cli.level ())
+    $ series_out_arg $ series_interval_arg $ profile_arg $ profile_out_arg
+    $ Logs_cli.level ())
 
 let install t =
   Mbac_telemetry.Logging.setup t.log_level;
   Mbac_telemetry.Trace.set_enabled (t.trace_out <> None);
   Mbac_telemetry.Trace.set_sample_every t.trace_sample;
-  Mbac_telemetry.Profile.set_enabled t.profile
+  Mbac_telemetry.Timeseries.set_enabled (t.series_out <> None);
+  if t.series_out <> None then
+    Mbac_telemetry.Timeseries.set_interval t.series_interval;
+  Mbac_telemetry.Profile.set_enabled (t.profile || t.profile_out <> None)
+
+let write_with path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let finish t =
   (match t.metrics_out with
@@ -60,10 +96,14 @@ let finish t =
         ~path
   | None -> ());
   (match t.trace_out with
+  | Some path -> write_with path Mbac_telemetry.Trace.dump
+  | None -> ());
+  (match t.series_out with
+  | Some path -> write_with path Mbac_telemetry.Timeseries.dump
+  | None -> ());
+  (match t.profile_out with
   | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Mbac_telemetry.Trace.dump oc)
+      write_with path (fun oc ->
+          output_string oc (Mbac_telemetry.Profile.to_json ()))
   | None -> ());
   if t.profile then Mbac_telemetry.Profile.report Format.err_formatter

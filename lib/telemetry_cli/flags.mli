@@ -8,20 +8,30 @@
       to [FILE];
     - [--trace-sample K]: keep every K-th event of high-volume sampled
       kinds (decisions, bursts);
+    - [--series-out FILE]: enable the windowed metric time series
+      ({!Mbac_telemetry.Timeseries}) and write it as JSONL to [FILE];
+    - [--series-interval T]: time-series window length in virtual-time
+      units (default 100);
     - [--profile]: record wall-clock spans and print the report to
       stderr on exit;
+    - [--profile-out FILE]: record wall-clock spans and write the span
+      table as JSON to [FILE] on exit;
     - [-v]/[-q]/[--verbosity LEVEL] (from [Logs_cli]): progress/log
       verbosity, rendered by the shared timestamped stderr reporter.
 
     Usage: include {!term} in the binary's cmdliner term, call
     {!install} first thing in the main function, and {!finish} after the
-    work is done. *)
+    work is done.  Binaries should reject [trace_sample < 1] and
+    [series_interval <= 0] before calling {!install}. *)
 
 type t = {
   metrics_out : string option;
   trace_out : string option;
   trace_sample : int;
+  series_out : string option;
+  series_interval : float;
   profile : bool;
+  profile_out : string option;
   log_level : Logs.level option;
 }
 
@@ -29,8 +39,11 @@ val term : t Cmdliner.Term.t
 
 val install : t -> unit
 (** Apply the flags: set up the [Logs] reporter/level, enable tracing
-    and its sampling rate, enable profiling. *)
+    and its sampling rate, enable the time series and set its window
+    length, enable profiling (when either [--profile] or
+    [--profile-out] asks). *)
 
 val finish : t -> unit
-(** Write [--metrics-out] / [--trace-out] files from the calling
-    domain's shard and print the [--profile] report to stderr. *)
+(** Write [--metrics-out] / [--trace-out] / [--series-out] /
+    [--profile-out] files from the calling domain's shard and print the
+    [--profile] report to stderr. *)

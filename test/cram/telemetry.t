@@ -57,6 +57,14 @@ The same contract holds for parallel replications in mbac_sim:
   $ cmp st1.jsonl st4.jsonl && echo trace-identical
   trace-identical
 
+The recorded formats self-check: mbac_report re-parses every line and
+exits non-zero on any schema error.
+
+  $ mbac_report --trace t1.jsonl --metrics m1.json > /dev/null && echo schemas-ok
+  schemas-ok
+  $ mbac_report --trace st1.jsonl > /dev/null && echo sim-schema-ok
+  sim-schema-ok
+
 Invalid sampling intervals are rejected:
 
   $ experiments --run prop31 --trace-sample 0

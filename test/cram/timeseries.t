@@ -1,0 +1,117 @@
+Flight-recorder determinism: the windowed time series is keyed to
+virtual time (burst index for the impulsive driver, simulated seconds
+for the continuous-load simulator) and accumulated in per-task shards
+merged in submission order — so --series-out is byte-identical for
+every --jobs value, exactly like --trace-out and --metrics-out.
+
+Pin the domain cap so --jobs 4 spawns real worker domains even on a
+narrow runner:
+
+  $ export MBAC_DOMAIN_CAP=4
+
+  $ experiments --run prop31 --seed 11 --jobs 1 --series-interval 50 \
+  >   --series-out s1.jsonl --trace-out t1.jsonl --metrics-out m1.json > run1.out
+  $ experiments --run prop31 --seed 11 --jobs 4 --series-interval 50 \
+  >   --series-out s4.jsonl --trace-out t4.jsonl --metrics-out m4.json > run4.out
+  $ cmp run1.out run4.out && echo stdout-identical
+  stdout-identical
+  $ cmp s1.jsonl s4.jsonl && echo series-identical
+  series-identical
+  $ cmp t1.jsonl t4.jsonl && echo trace-identical
+  trace-identical
+  $ cmp m1.json m4.json && echo metrics-identical
+  metrics-identical
+
+The series is JSONL; every window line leads with the virtual-time
+window end and the kind (prop31 sweeps two burst sizes for 2000
+replications each: 40 windows of 50 bursts per cell):
+
+  $ head -1 s1.jsonl | cut -c 1-22
+  {"t":50,"kind":"window
+  $ wc -l < s1.jsonl
+  80
+
+The offline analyzer summarizes the recorded trace and series, and
+validates the schemas as it reads (its output is deterministic because
+its inputs are):
+
+  $ mbac_report --trace t1.jsonl --series s1.jsonl --metrics m1.json
+  == Trace t1.jsonl: 4000 events ==
+    burst                4000
+  == Burst admissions ==
+    n_offered=200: bursts 2000  mean m_0 90.64  mean admitted fraction 0.4532
+    n_offered=800: bursts 2000  mean m_0 381.3  mean admitted fraction 0.4767
+  == Series s1.jsonl: 80 windows ==
+    impulsive-m0[n=200]: runs 1  windows 40  admitted/window 4532 +- 20
+    impulsive-m0[n=800]: runs 1  windows 40  admitted/window 1.907e+04 +- 39
+  == Metrics m1.json: 5 metrics ==
+
+The same contract holds for the continuous-load simulator, whose
+windows live on the simulated-time grid; the analyzer segments the
+trace by run_start/run_end and derives estimator drift, overflow
+inter-arrival/duration quantiles, and the windowed overflow
+probability:
+
+  $ mbac_sim --reps 3 --t-h 50 --max-events 300000 --seed 5 --jobs 1 \
+  >   --series-out cs1.jsonl --series-interval 500 \
+  >   --trace-out ct1.jsonl --trace-sample 500 > sim1.out
+  $ mbac_sim --reps 3 --t-h 50 --max-events 300000 --seed 5 --jobs 4 \
+  >   --series-out cs4.jsonl --series-interval 500 \
+  >   --trace-out ct4.jsonl --trace-sample 500 > sim4.out
+  $ cmp cs1.jsonl cs4.jsonl && echo series-identical
+  series-identical
+  $ cmp ct1.jsonl ct4.jsonl && echo trace-identical
+  trace-identical
+
+  $ mbac_report --trace ct1.jsonl --series cs1.jsonl
+  == Trace ct1.jsonl: 2932 events ==
+    decision             1836
+    estimator             946
+    overflow_end           72
+    overflow_start         72
+    run_end                 3
+    run_start               3
+  == Controller robust[T_m=5,alpha_ce=3.31] ==
+    runs: 3  p_f: 0.0003727 +- 0.00017  utilization: 0.9019 +- 0.00013
+    decisions: 1836  admit rate: 0.0158
+    estimator: 946 samples  mu_hat 1.044 -> 1.039 (drift -0.00531)  mean 1.001 +- 0.031  sigma_hat mean 0.2993
+    overflow episodes: 72
+      inter-arrival: p50 0.2136  p90 518.8  p99 1329
+      duration:      p50 0.01714  p90 0.1965  p99 10.14
+  == Series cs1.jsonl: 21 windows ==
+    robust[T_m=5,alpha_ce=3.31]: runs 3  windows 21  admitted/window 833.9 +- 2e+02  windowed p_f mean 0.001333 max 0.02031
+
+--profile-out writes the span table as JSON without touching stdout:
+
+  $ experiments --run prop31 --seed 11 --jobs 4 --profile-out prof.json \
+  >   > runp.out 2> /dev/null
+  $ cmp run1.out runp.out && echo stdout-identical
+  stdout-identical
+  $ head -c 1 prof.json
+  {
+  $ grep -c '"experiments.par_map"' prof.json
+  1
+
+The analyzer is also the schema self-check: malformed input exits
+non-zero with a pointer to the offending line.
+
+  $ echo 'not json' > bad.jsonl
+  $ mbac_report --trace bad.jsonl
+  mbac_report: bad.jsonl:1: offset 0: invalid literal (expected null)
+  Usage: mbac_report [--metrics=FILE] [--series=FILE] [--trace=FILE] [OPTION]…
+  Try 'mbac_report --help' for more information.
+  [124]
+  $ echo '{"kind":"window"}' > noT.jsonl
+  $ mbac_report --series noT.jsonl
+  mbac_report: noT.jsonl:1: missing or mistyped "t" (number)
+  Usage: mbac_report [--metrics=FILE] [--series=FILE] [--trace=FILE] [OPTION]…
+  Try 'mbac_report --help' for more information.
+  [124]
+
+Invalid window lengths are rejected up front:
+
+  $ experiments --run prop31 --series-out x.jsonl --series-interval 0
+  experiments: --series-interval must be finite and > 0
+  Usage: experiments [OPTION]…
+  Try 'experiments --help' for more information.
+  [124]

@@ -12,4 +12,6 @@ let () =
    @ Test_splitting.suite
    @ Test_impulsive_driver.suite @ Test_experiments.suite
    @ Test_ks_hurst.suite @ Test_extensions.suite
-   @ Test_effective_bandwidth.suite @ Test_telemetry.suite)
+   @ Test_effective_bandwidth.suite @ Test_telemetry.suite
+   @ Test_quantile_histogram.suite @ Test_timeseries.suite
+   @ Test_catalogue.suite)
