@@ -529,6 +529,121 @@ let run_rare fmt ~toy =
     r_events_ratio = ratio;
     r_theory = theory }
 
+(* ---------- Serving-engine gate (--serve) ---------- *)
+
+(* Single-core decision throughput through the full in-process stack:
+   every request is encoded to wire bytes, decoded by the server session
+   layer, dispatched, and the response decoded back — the same path a
+   socket peer exercises minus the kernel.  The engine is first warmed
+   with a mixed loadgen workload (arrivals, departures, measurement
+   passes) so decisions run against a published estimate, then a pure
+   Decide loop is timed.  The gate (release profile, non-toy) requires
+   >= 1e6 decisions/sec; latency quantiles come from the
+   [serve_decision_latency_seconds] quantile histogram. *)
+
+let serve_gate_floor = 1e6
+
+type serve_numbers = {
+  sv_toy : bool;
+  sv_decides : int;
+  sv_decisions_per_sec : float;
+  sv_p50 : float;
+  sv_p99 : float;
+  sv_p999 : float;
+  sv_admit_rate : float;
+  sv_updates : int;
+  sv_pass : bool;
+}
+
+let run_serve fmt ~toy =
+  Format.fprintf fmt "@.=== Serving-engine gate (in-process decision \
+                      throughput)%s ===@."
+    (if toy then " [toy]" else "");
+  let engine =
+    Mbac_serve.Engine.create
+      { capacity = 100.0;
+        criteria =
+          [ Mbac_serve.Engine.Gaussian { cname = "ce:0.01"; p_ce = 0.01 };
+            Mbac_serve.Engine.Hoeffding
+              { cname = "hoeffding:0.01:2.0"; p_ce = 0.01; peak = 2.0 } ];
+        estimator = Mbac.Estimator.ewma ~t_m:100.0;
+        measure_every = 16 }
+  in
+  let client = Mbac_serve.Client.inproc engine in
+  let warm_requests = if toy then 5_000 else 50_000 in
+  let warm =
+    Mbac_serve.Loadgen.run client
+      { Mbac_serve.Loadgen.seed = 7; requests = warm_requests;
+        arrival_mean = 1.0; hold_mean = 100.0; load_mean = 1.0;
+        load_std = 0.3; n_criteria = 2 }
+  in
+  Format.fprintf fmt "  warmup: %d requests, %d admitted, %d departed@."
+    warm.Mbac_serve.Loadgen.sent warm.Mbac_serve.Loadgen.admitted
+    warm.Mbac_serve.Loadgen.departures;
+  (* pre-draw the offered loads so the timed loop is pure client+engine *)
+  let loads =
+    let rng = Mbac_stats.Rng.derive ~seed:7 ~tag:"bench-serve-loads" in
+    Array.init 1024 (fun _ ->
+        Mbac_stats.Sample.lognormal_of_moments rng ~mean:1.0 ~std:0.3)
+  in
+  let decides = if toy then 200_000 else 2_000_000 in
+  let admits = ref 0 in
+  let now () = Int64.to_float (Monotonic_clock.now ()) in
+  let t0 = now () in
+  for i = 0 to decides - 1 do
+    match
+      Mbac_serve.Client.rpc client
+        (Mbac_serve.Protocol.Decide
+           { criterion = i land 1; load = loads.(i land 1023);
+             now = float_of_int i })
+    with
+    | Mbac_serve.Protocol.Decision { admit; _ } ->
+        if admit then incr admits
+    | _ -> failwith "bench: unexpected Decide reply"
+  done;
+  let elapsed_s = (now () -. t0) /. 1e9 in
+  Mbac_serve.Client.close client;
+  let dps = float_of_int decides /. elapsed_s in
+  let stats = Mbac_serve.Engine.stats engine in
+  let q =
+    match
+      Mbac_telemetry.Snapshot.find
+        (Mbac_telemetry.Snapshot.current ())
+        "serve_decision_latency_seconds"
+    with
+    | Some (Mbac_telemetry.Snapshot.Qhistogram h) ->
+        fun p ->
+          Mbac_telemetry.Quantile_histogram.quantile_of ~lo:h.q_lo
+            ~buckets_per_decade:h.q_buckets_per_decade ~decades:h.q_decades
+            ~underflow:h.q_underflow ~overflow:h.q_overflow
+            ~counts:h.q_counts p
+    | _ -> fun _ -> nan
+  in
+  let p50 = q 0.5 and p99 = q 0.99 and p999 = q 0.999 in
+  let admit_rate = float_of_int !admits /. float_of_int decides in
+  Format.fprintf fmt
+    "  decide loop:   %d requests in %.3f s = %.3g decisions/sec@." decides
+    elapsed_s dps;
+  Format.fprintf fmt
+    "  latency:       p50 %.3g s  p99 %.3g s  p999 %.3g s@." p50 p99 p999;
+  Format.fprintf fmt
+    "  admit rate %.3f, measurement updates %d@." admit_rate
+    stats.Mbac_serve.Engine.updates;
+  let pass = toy || dps >= serve_gate_floor in
+  if not toy then
+    Format.fprintf fmt "  gate (>= %.2g decisions/sec, release): %s@."
+      serve_gate_floor
+      (if pass then "PASS" else "FAIL");
+  { sv_toy = toy;
+    sv_decides = decides;
+    sv_decisions_per_sec = dps;
+    sv_p50 = p50;
+    sv_p99 = p99;
+    sv_p999 = p999;
+    sv_admit_rate = admit_rate;
+    sv_updates = stats.Mbac_serve.Engine.updates;
+    sv_pass = pass }
+
 (* ---------- BENCH.json ---------- *)
 
 (* BENCH.json is self-written single-line JSON, so a string-literal-aware
@@ -635,7 +750,8 @@ let git_describe () =
 
 let history_cap = 50
 
-let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
+let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare
+    ~serve =
   let open Mbac_telemetry.Json in
   let fnan v = if Float.is_nan v then "null" else float v in
   let previous = read_file path in
@@ -724,6 +840,24 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
             ("theory_eqn37", fnan r.r_theory) ])
       rare
   in
+  let serve_json =
+    Option.map
+      (fun s ->
+        obj
+          [ ("toy", bool s.sv_toy);
+            ("decide_requests", int s.sv_decides);
+            ("decisions_per_sec", fnan s.sv_decisions_per_sec);
+            ("latency_seconds",
+             obj
+               [ ("p50", fnan s.sv_p50);
+                 ("p99", fnan s.sv_p99);
+                 ("p999", fnan s.sv_p999) ]);
+            ("admit_rate", fnan s.sv_admit_rate);
+            ("measurement_updates", int s.sv_updates);
+            ("gate_floor_per_sec", float serve_gate_floor);
+            ("gate_pass", bool s.sv_pass) ])
+      serve
+  in
   let history_json =
     let prev_items =
       match previous with
@@ -749,6 +883,10 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
            | None -> "null");
           ("rare_events_ratio",
            match rare with Some r -> fnan r.r_events_ratio | None -> "null");
+          ("serve_decisions_per_sec",
+           match serve with
+           | Some s -> fnan s.sv_decisions_per_sec
+           | None -> "null");
           ("scaling_speedup_at_4",
            match scaling with
            | Some rows -> (
@@ -773,6 +911,7 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare =
         ("scaling", carry "scaling" scaling_json);
         ("hotpath", carry "hotpath" hotpath_json);
         ("rare", carry "rare" rare_json);
+        ("serve", carry "serve" serve_json);
         ("history", history_json) ]
   in
   let oc = open_out path in
@@ -788,6 +927,7 @@ let () =
   let gate = Array.exists (fun a -> a = "--gate") argv in
   let hotpath_only = Array.exists (fun a -> a = "--hotpath") argv in
   let rare_only = Array.exists (fun a -> a = "--rare") argv in
+  let serve_only = Array.exists (fun a -> a = "--serve") argv in
   let toy = Array.exists (fun a -> a = "--toy") argv in
   let arg_value name =
     let v = ref None in
@@ -827,8 +967,10 @@ let () =
   let micro = ref None in
   let hotpath = ref None in
   let rare = ref None in
+  let serve = ref None in
   if hotpath_only then hotpath := Some (run_hotpath fmt)
   else if rare_only then rare := Some (run_rare fmt ~toy)
+  else if serve_only then serve := Some (run_serve fmt ~toy)
   else if not scaling_only then begin
     let t0 = now () in
     run_reproduction ~profile fmt;
@@ -836,10 +978,11 @@ let () =
     if not skip_micro then micro := Some (run_micro fmt)
   end;
   let scaling =
-    if hotpath_only || rare_only then None else Some (run_scaling fmt)
+    if hotpath_only || rare_only || serve_only then None
+    else Some (run_scaling fmt)
   in
   write_bench_json ~path:json_path ~profile ~repro_ns:!repro_ns ~micro:!micro
-    ~scaling ~hotpath:!hotpath ~rare:!rare;
+    ~scaling ~hotpath:!hotpath ~rare:!rare ~serve:!serve;
   Format.fprintf fmt "@.bench: wrote %s@." json_path;
   (match metrics_out with
   | Some path ->
@@ -866,6 +1009,9 @@ let () =
   (* --gate turns a failed scaling gate into a non-zero exit (CI runs it
      on the release build; dev-profile numbers are not meaningful, see
      PERFORMANCE.md). *)
+  (match !serve with
+  | Some s when gate && not s.sv_pass -> exit 1
+  | Some _ | None -> ());
   match scaling with
   | Some rows when gate && not (List.for_all (fun r -> r.s_pass) rows) ->
       exit 1

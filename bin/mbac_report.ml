@@ -429,15 +429,82 @@ let analyze_metrics fmt file =
           raise (Schema (Printf.sprintf "%s: %s has no kind" file name)))
     metrics
 
-let run trace series metrics =
-  if trace = None && series = None && metrics = None then
-    Error "nothing to do: pass --trace, --series, and/or --metrics"
+(* ---------------- serve decision log ---------------- *)
+
+(* The serving engine's JSONL decision log: one object per Log_decision
+   request, {"seq","criterion","admit","flows"}.  Validates that [seq]
+   is dense from 0 (the engine assigns it) and reports per-criterion
+   admit rates plus the flows-in-system range. *)
+
+type serve_ctl = {
+  mutable sd_decisions : int;
+  mutable sd_admits : int;
+  sd_flows : welford;
+}
+
+let analyze_serve_log fmt file =
+  let lines = read_lines file in
+  let criteria : (string, serve_ctl) Hashtbl.t = Hashtbl.create 8 in
+  let total = ref 0 in
+  let min_flows = ref max_int and max_flows = ref min_int in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let v = parse_line file lineno line in
+      let field what conv name =
+        require file lineno what (Option.bind (J.member name v) conv)
+      in
+      let seq = field "int seq" J.to_int "seq" in
+      let criterion = field "string criterion" J.to_string "criterion" in
+      let admit = field "bool admit" J.to_bool "admit" in
+      let flows = field "int flows" J.to_int "flows" in
+      if seq <> i then
+        schema file lineno
+          (Printf.sprintf "seq %d out of order (expected %d)" seq i);
+      if flows < 0 then schema file lineno "negative flows";
+      let c =
+        match Hashtbl.find_opt criteria criterion with
+        | Some c -> c
+        | None ->
+            let c =
+              { sd_decisions = 0; sd_admits = 0; sd_flows = w_create () }
+            in
+            Hashtbl.add criteria criterion c;
+            c
+      in
+      c.sd_decisions <- c.sd_decisions + 1;
+      if admit then c.sd_admits <- c.sd_admits + 1;
+      w_add c.sd_flows (float_of_int flows);
+      min_flows := min !min_flows flows;
+      max_flows := max !max_flows flows;
+      incr total)
+    lines;
+  Format.fprintf fmt "== Serve decision log %s: %d decisions, %d criteria ==@."
+    file !total (Hashtbl.length criteria);
+  if !total > 0 then
+    Format.fprintf fmt "  flows in system: min %d max %d@." !min_flows
+      !max_flows;
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf fmt
+        "  %s: decisions %d  admits %d  admit rate %.4f  mean flows %.1f@."
+        name c.sd_decisions c.sd_admits
+        (float_of_int c.sd_admits /. float_of_int c.sd_decisions)
+        (w_mean c.sd_flows))
+    (List.sort compare
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) criteria []))
+
+let run trace series metrics serve_log =
+  if trace = None && series = None && metrics = None && serve_log = None then
+    Error
+      "nothing to do: pass --trace, --series, --metrics, and/or --serve-log"
   else begin
     let fmt = Format.std_formatter in
     try
       Option.iter (analyze_trace fmt) trace;
       Option.iter (analyze_series fmt) series;
       Option.iter (analyze_metrics fmt) metrics;
+      Option.iter (analyze_serve_log fmt) serve_log;
       Ok ()
     with Schema msg -> Error msg
   end
@@ -457,15 +524,24 @@ let metrics_opt =
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"JSON metric snapshot written by --metrics-out.")
 
+let serve_log_opt =
+  Arg.(value & opt (some string) None
+       & info [ "serve-log" ] ~docv:"FILE"
+           ~doc:"JSONL decision log written by mbac_serve/mbac_loadgen \
+                 --decision-log.")
+
 let cmd =
-  let term = Term.(const run $ trace_opt $ series_opt $ metrics_opt) in
+  let term =
+    Term.(const run $ trace_opt $ series_opt $ metrics_opt $ serve_log_opt)
+  in
   Cmd.v
     (Cmd.info "mbac_report"
        ~doc:"Summarize recorded telemetry: per-controller admit rates, \
              estimator drift, overflow quantiles, and windowed overflow \
              probability from --trace-out / --series-out / --metrics-out \
-             files.  Validates the schemas and exits non-zero on any \
-             malformed input.")
+             files, and admission decisions from a serving-engine \
+             --decision-log.  Validates the schemas and exits non-zero \
+             on any malformed input.")
     Term.(term_result' ~usage:true term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,90 @@
+(* Online admission-decision daemon:
+     mbac_serve --socket /tmp/mbac.sock --capacity 120 \
+       --criteria ce:0.01,hoeffding:0.01:2.0 --estimator ewma:100
+   Serves the binary protocol until a client sends Shutdown. *)
+
+open Cmdliner
+
+let run socket capacity criteria estimator measure_every measure_interval
+    decision_log tele =
+  match
+    let criteria = Mbac_serve.Spec.criteria_of_string criteria in
+    let estimator = Mbac_serve.Spec.estimator_of_string estimator in
+    (criteria, estimator)
+  with
+  | exception Invalid_argument msg -> Error msg
+  | criteria, estimator -> (
+      if measure_every < 0 then Error "--measure-every must be >= 0"
+      else if
+        match measure_interval with Some t -> not (t > 0.0) | None -> false
+      then Error "--measure-interval must be > 0"
+      else begin
+        Mbac_telemetry_cli.Flags.install tele;
+        let log_buf = Option.map (fun _ -> Buffer.create 4096) decision_log in
+        match
+          Mbac_serve.Engine.create ?decision_log:log_buf
+            { capacity; criteria; estimator; measure_every }
+        with
+        | exception Invalid_argument msg -> Error msg
+        | engine ->
+            (match measure_interval with
+            | Some interval ->
+                Mbac_serve.Engine.start_background engine ~interval
+            | None -> ());
+            Logs.info (fun m -> m "serving on %s" socket);
+            Mbac_serve.Server.run_unix engine ~path:socket;
+            (match measure_interval with
+            | Some _ -> Mbac_serve.Engine.stop_background engine
+            | None -> ());
+            (match (decision_log, log_buf) with
+            | Some path, Some buf ->
+                let oc = open_out path in
+                Buffer.output_buffer oc buf;
+                close_out oc
+            | _ -> ());
+            Mbac_telemetry_cli.Flags.finish tele;
+            Ok ()
+      end)
+
+let cmd =
+  let term =
+    Term.(
+      const run
+      $ Arg.(required
+             & opt (some string) None
+             & info [ "socket" ] ~docv:"PATH"
+                 ~doc:"Unix socket path to serve on (stale files are \
+                       replaced; removed on exit).")
+      $ Arg.(value & opt float 100.0
+             & info [ "capacity" ] ~docv:"C" ~doc:"Link capacity.")
+      $ Arg.(value & opt string "ce:0.01"
+             & info [ "criteria" ] ~docv:"SPECS"
+                 ~doc:"Comma-separated admission criteria: ce:<p_ce> \
+                       (certainty-equivalent Gaussian) or \
+                       hoeffding:<p_ce>:<peak>.  Decide requests index \
+                       into this list.")
+      $ Arg.(value & opt string "ewma:100"
+             & info [ "estimator" ] ~docv:"SPEC"
+                 ~doc:"memoryless | ewma:<t_m> | window:<t_w> | \
+                       aggregate:<t_m>.")
+      $ Arg.(value & opt int 16
+             & info [ "measure-every" ] ~docv:"K"
+                 ~doc:"Run a measurement pass after every K-th \
+                       add/subtract (deterministic; 0 disables).")
+      $ Arg.(value & opt (some float) None
+             & info [ "measure-interval" ] ~docv:"T"
+                 ~doc:"Also run a background measurement domain every T \
+                       wall-clock seconds.")
+      $ Arg.(value & opt (some string) None
+             & info [ "decision-log" ] ~docv:"FILE"
+                 ~doc:"Write the JSONL decision log (one line per \
+                       Log_decision request) to FILE on shutdown.")
+      $ Mbac_telemetry_cli.Flags.term)
+  in
+  Cmd.v
+    (Cmd.info "mbac_serve"
+       ~doc:"Serve online admission decisions over a Unix-socket binary \
+             protocol")
+    Term.(term_result' ~usage:true term)
+
+let () = exit (Cmd.eval cmd)

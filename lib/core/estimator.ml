@@ -14,6 +14,17 @@ let current t = t.current ()
 let reset t = t.reset ()
 let copy t = t.copy ()
 
+type snapshot = { mu : float; var : float }
+
+(* The cached [estimate] record returned by [current] is refreshed in
+   place, so it must never escape the observing domain; this reads it
+   immediately (per the [current] contract) into a fresh immutable
+   record that is safe to publish anywhere. *)
+let snapshot_estimate t =
+  match t.current () with
+  | Some e -> Some { mu = e.mu_hat; var = e.var_hat }
+  | None -> None
+
 (* Estimator state hides inside the closures, so each constructor below
    is written as a recursive [build] over its (copied) hidden state:
    [copy] duplicates the state and rebuilds the closures around the

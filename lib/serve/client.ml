@@ -1,0 +1,101 @@
+type transport = Inproc of Engine.t | Socket of Unix.file_descr
+
+type t = {
+  transport : transport;
+  peer : string;
+  reqbuf : Buffer.t;     (* encoded request frame *)
+  respbuf : Buffer.t;    (* in-process: server-rendered response frame *)
+  mutable wire : Bytes.t;  (* scratch for frames crossing the boundary *)
+  mutable fill : int;      (* socket: bytes of response accumulated *)
+  mutable requests : int;
+  mutable closed : bool;
+}
+
+let make transport peer =
+  Server.conn_opened ();
+  { transport; peer; reqbuf = Buffer.create 256; respbuf = Buffer.create 256;
+    wire = Bytes.create 4096; fill = 0; requests = 0; closed = false }
+
+let inproc engine = make (Inproc engine) "inproc"
+
+let connect_unix ?(retries = 50) ~path () =
+  let rec attempt k =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when k > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.1;
+        attempt (k - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  match attempt retries with
+  | fd -> make (Socket fd) path
+  | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+      failwith (Printf.sprintf "Client: cannot reach daemon at %s" path)
+
+let ensure_wire t n = if Bytes.length t.wire < n then t.wire <- Bytes.create n
+
+let write_all fd bytes len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let protocol_failure e =
+  failwith ("Client: protocol error: " ^ Protocol.error_to_string e)
+
+let rpc t req =
+  if t.closed then failwith "Client: connection is closed";
+  t.requests <- t.requests + 1;
+  Buffer.clear t.reqbuf;
+  Protocol.encode_request t.reqbuf req;
+  let len = Buffer.length t.reqbuf in
+  match t.transport with
+  | Inproc engine -> begin
+      ensure_wire t len;
+      Buffer.blit t.reqbuf 0 t.wire 0 len;
+      Buffer.clear t.respbuf;
+      match Server.handle_frame engine t.wire ~pos:0 ~avail:len t.respbuf with
+      | Error e -> protocol_failure e
+      | Ok (_, _) -> begin
+          let rlen = Buffer.length t.respbuf in
+          ensure_wire t rlen;
+          Buffer.blit t.respbuf 0 t.wire 0 rlen;
+          match Protocol.decode_response t.wire ~pos:0 ~avail:rlen with
+          | Ok (resp, _) -> resp
+          | Error e -> protocol_failure e
+        end
+    end
+  | Socket fd ->
+      ensure_wire t (max len (4 + Protocol.max_frame_payload));
+      Buffer.blit t.reqbuf 0 t.wire 0 len;
+      write_all fd t.wire len;
+      t.fill <- 0;
+      let rec read_response () =
+        match Protocol.decode_response t.wire ~pos:0 ~avail:t.fill with
+        | Ok (resp, consumed) ->
+            (* pipelining is not used on this client: one request, one
+               response — anything trailing is a protocol violation *)
+            if consumed <> t.fill then
+              failwith "Client: trailing bytes after response frame";
+            resp
+        | Error (Protocol.Truncated _) ->
+            let n = Unix.read fd t.wire t.fill (Bytes.length t.wire - t.fill) in
+            if n = 0 then failwith "Client: peer closed mid-response";
+            t.fill <- t.fill + n;
+            read_response ()
+        | Error e -> protocol_failure e
+      in
+      read_response ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.transport with
+    | Inproc _ -> ()
+    | Socket fd -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+    Server.conn_closed ~peer:t.peer ~requests:t.requests
+  end

@@ -1,0 +1,26 @@
+(** Client connections to a serving engine, over either transport.
+
+    Both transports speak the same {!Protocol} frames: the in-process
+    transport routes every request through the codec and the shared
+    {!Server.handle_frame} session layer, so it exercises exactly the
+    bytes a socket peer would see — it just skips the kernel.  All
+    buffers are reused across calls; a connection is single-owner (not
+    thread-safe). *)
+
+type t
+
+val inproc : Engine.t -> t
+(** Attach to an engine in this process (counts as a connection). *)
+
+val connect_unix : ?retries:int -> path:string -> unit -> t
+(** Connect to a daemon's Unix socket, retrying ([retries] × 100 ms,
+    default 50) while the path does not exist or refuses — covers the
+    daemon still starting up.
+    @raise Failure when retries are exhausted. *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** One request/response round trip.
+    @raise Failure on a protocol violation or closed peer. *)
+
+val close : t -> unit
+(** Close the connection (emits the per-connection trace event). *)

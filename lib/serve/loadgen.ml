@@ -1,0 +1,150 @@
+module Rng = Mbac_stats.Rng
+module Sample = Mbac_stats.Sample
+
+type workload = {
+  seed : int;
+  requests : int;
+  arrival_mean : float;
+  hold_mean : float;
+  load_mean : float;
+  load_std : float;
+  n_criteria : int;
+}
+
+type summary = {
+  sent : int;
+  decides : int;
+  admitted : int;
+  rejected : int;
+  departures : int;
+  final_stats : Protocol.response;
+}
+
+(* Binary min-heap of scheduled departures, keyed on virtual time.  The
+   workload holds at most [requests] flows, so arrays are preallocated. *)
+module Heap = struct
+  type t = { times : float array; loads : float array; mutable size : int }
+
+  let create n = { times = Array.make (max 1 n) 0.0; loads = Array.make (max 1 n) 0.0; size = 0 }
+
+  let swap h i j =
+    let ti = h.times.(i) and li = h.loads.(i) in
+    h.times.(i) <- h.times.(j); h.loads.(i) <- h.loads.(j);
+    h.times.(j) <- ti; h.loads.(j) <- li
+
+  let push h ~time ~load =
+    let i = ref h.size in
+    h.times.(!i) <- time;
+    h.loads.(!i) <- load;
+    h.size <- h.size + 1;
+    while !i > 0 && h.times.((!i - 1) / 2) > h.times.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let min_time h = if h.size = 0 then None else Some h.times.(0)
+
+  let pop h =
+    let time = h.times.(0) and load = h.loads.(0) in
+    h.size <- h.size - 1;
+    h.times.(0) <- h.times.(h.size);
+    h.loads.(0) <- h.loads.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.times.(l) < h.times.(!smallest) then smallest := l;
+      if r < h.size && h.times.(r) < h.times.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    (time, load)
+end
+
+let check name v = if not (Float.is_finite v && v > 0.0) then
+  invalid_arg (Printf.sprintf "Loadgen: %s must be finite and positive" name)
+
+let fail_reply what = function
+  | Protocol.Error_reply { code; message } ->
+      failwith (Printf.sprintf "Loadgen: %s failed: server error %d (%s)" what code message)
+  | _ -> failwith (Printf.sprintf "Loadgen: unexpected reply to %s" what)
+
+let run client w =
+  check "arrival_mean" w.arrival_mean;
+  check "hold_mean" w.hold_mean;
+  check "load_mean" w.load_mean;
+  check "load_std" w.load_std;
+  if w.requests < 0 then invalid_arg "Loadgen: requests must be >= 0";
+  if w.n_criteria < 1 then invalid_arg "Loadgen: n_criteria must be >= 1";
+  let arrivals = Rng.derive ~seed:w.seed ~tag:"loadgen/arrivals" in
+  let holds = Rng.derive ~seed:w.seed ~tag:"loadgen/holds" in
+  let loads = Rng.derive ~seed:w.seed ~tag:"loadgen/loads" in
+  let picks = Rng.derive ~seed:w.seed ~tag:"loadgen/criteria" in
+  let heap = Heap.create w.requests in
+  let sent = ref 0 in
+  let admitted = ref 0 in
+  let rejected = ref 0 in
+  let departures = ref 0 in
+  let send req =
+    incr sent;
+    Client.rpc client req
+  in
+  let t = ref 0.0 in
+  for _ = 1 to w.requests do
+    t := !t +. Sample.exponential arrivals ~mean:w.arrival_mean;
+    (* retire every flow whose holding time expired before this arrival *)
+    let rec drain () =
+      match Heap.min_time heap with
+      | Some due when due <= !t ->
+          let due, load = Heap.pop heap in
+          (match send (Protocol.Subtract { load; now = due }) with
+          | Protocol.Ok_reply -> incr departures
+          | r -> fail_reply "Subtract" r);
+          drain ()
+      | _ -> ()
+    in
+    drain ();
+    let load = Sample.lognormal_of_moments loads ~mean:w.load_mean ~std:w.load_std in
+    let criterion = Rng.int picks w.n_criteria in
+    let admit =
+      match send (Protocol.Decide { criterion; load; now = !t }) with
+      | Protocol.Decision { admit; _ } -> admit
+      | r -> fail_reply "Decide" r
+    in
+    (match send (Protocol.Log_decision { criterion; admit }) with
+    | Protocol.Ok_reply -> ()
+    | r -> fail_reply "Log_decision" r);
+    if admit then begin
+      incr admitted;
+      (match send (Protocol.Add { load; now = !t }) with
+      | Protocol.Ok_reply -> ()
+      | r -> fail_reply "Add" r);
+      let hold = Sample.exponential holds ~mean:w.hold_mean in
+      Heap.push heap ~time:(!t +. hold) ~load
+    end
+    else incr rejected
+  done;
+  let final_stats =
+    match send Protocol.Stats with
+    | Protocol.Stats_reply _ as r -> r
+    | r -> fail_reply "Stats" r
+  in
+  { sent = !sent; decides = w.requests; admitted = !admitted;
+    rejected = !rejected; departures = !departures; final_stats }
+
+let print_summary oc s =
+  Printf.fprintf oc "requests sent      %d\n" s.sent;
+  Printf.fprintf oc "decide requests    %d\n" s.decides;
+  Printf.fprintf oc "admitted           %d\n" s.admitted;
+  Printf.fprintf oc "rejected           %d\n" s.rejected;
+  Printf.fprintf oc "departures         %d\n" s.departures;
+  match s.final_stats with
+  | Protocol.Stats_reply { flows; admitted_load; capacity; _ } ->
+      Printf.fprintf oc "flows in system    %d\n" flows;
+      Printf.fprintf oc "admitted load      %.6f\n" admitted_load;
+      Printf.fprintf oc "capacity           %.6f\n" capacity
+  | _ -> ()

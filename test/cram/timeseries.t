@@ -98,13 +98,13 @@ non-zero with a pointer to the offending line.
   $ echo 'not json' > bad.jsonl
   $ mbac_report --trace bad.jsonl
   mbac_report: bad.jsonl:1: offset 0: invalid literal (expected null)
-  Usage: mbac_report [--metrics=FILE] [--series=FILE] [--trace=FILE] [OPTION]…
+  Usage: mbac_report [OPTION]…
   Try 'mbac_report --help' for more information.
   [124]
   $ echo '{"kind":"window"}' > noT.jsonl
   $ mbac_report --series noT.jsonl
   mbac_report: noT.jsonl:1: missing or mistyped "t" (number)
-  Usage: mbac_report [--metrics=FILE] [--series=FILE] [--trace=FILE] [OPTION]…
+  Usage: mbac_report [OPTION]…
   Try 'mbac_report --help' for more information.
   [124]
 

@@ -130,6 +130,28 @@ let run_splitting ~seed =
     (Mbac_sim.Splitting.run ~seed:(seed + 1) truncating splitting_sim_cfg
        ~controller:(controller ()) ~make_source)
 
+(* One tiny in-process serving session touching every serve_* metric:
+   connect, a decide that admits and one that rejects (admit/reject
+   counters plus the latency histogram), accounting with measure_every=1
+   (measurement updates and the flow/load gauges). *)
+let run_serve_paths () =
+  let engine =
+    Mbac_serve.Engine.create
+      { Mbac_serve.Engine.capacity = 10.0;
+        criteria = [ Mbac_serve.Engine.Gaussian { cname = "ce"; p_ce = 0.01 } ];
+        estimator = Mbac.Estimator.memoryless ();
+        measure_every = 1 }
+  in
+  let client = Mbac_serve.Client.inproc engine in
+  let rpc req = ignore (Mbac_serve.Client.rpc client req) in
+  rpc (Mbac_serve.Protocol.Decide { criterion = 0; load = 1.0; now = 0.0 });
+  rpc (Mbac_serve.Protocol.Add { load = 1.0; now = 0.0 });
+  rpc (Mbac_serve.Protocol.Decide { criterion = 0; load = 100.0; now = 1.0 });
+  rpc (Mbac_serve.Protocol.Log_decision { criterion = 0; admit = false });
+  rpc (Mbac_serve.Protocol.Subtract { load = 1.0; now = 2.0 });
+  rpc Mbac_serve.Protocol.Stats;
+  Mbac_serve.Client.close client
+
 let registered_metrics () =
   Shard.reset_current ();
   (* window gauges only exist on --series-out runs *)
@@ -146,6 +168,7 @@ let registered_metrics () =
       run_impulsive ~seed:44;
       run_parallel_paths ();
       run_splitting ~seed:45;
+      run_serve_paths ();
       List.map
         (fun (name, value) ->
           let kind =

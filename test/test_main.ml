@@ -14,4 +14,5 @@ let () =
    @ Test_ks_hurst.suite @ Test_extensions.suite
    @ Test_effective_bandwidth.suite @ Test_telemetry.suite
    @ Test_quantile_histogram.suite @ Test_timeseries.suite
+   @ Test_serve_protocol.suite @ Test_serve.suite
    @ Test_catalogue.suite)
