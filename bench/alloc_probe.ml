@@ -82,6 +82,33 @@ let () =
            Mbac_sim.Event_heap.push heap ~time:(tm +. 200.0) 7
          done));
 
+  (* calendar queue, same hold-style cycle: steady state must be
+     allocation-free at both a sim-sized and a large pending population
+     (resize/recalibration allocates only a new heads array, and only
+     when the population or spacing actually moves). *)
+  let cal = Mbac_sim.Calendar_queue.create () in
+  for i = 1 to 200 do
+    Mbac_sim.Calendar_queue.push cal ~time:(float_of_int i) i
+  done;
+  report "Calendar_queue push+drop cycle"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           let tm = Mbac_sim.Calendar_queue.min_time cal in
+           Mbac_sim.Calendar_queue.drop_min cal;
+           Mbac_sim.Calendar_queue.push cal ~time:(tm +. 200.0) 7
+         done));
+  let cal_big = Mbac_sim.Calendar_queue.create () in
+  for i = 1 to 100_000 do
+    Mbac_sim.Calendar_queue.push cal_big ~time:(float_of_int i) i
+  done;
+  report "Calendar_queue push+drop (100k pending)"
+    (words_per_op ~ops (fun n ->
+         for _ = 1 to n do
+           let tm = Mbac_sim.Calendar_queue.min_time cal_big in
+           Mbac_sim.Calendar_queue.drop_min cal_big;
+           Mbac_sim.Calendar_queue.push cal_big ~time:(tm +. 100_000.0) 7
+         done));
+
   (* observation construction (the pointer store into [keep] does not
      allocate; the record itself is the 5 words under test) *)
   let obs100 =

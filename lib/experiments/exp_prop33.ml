@@ -38,11 +38,7 @@ let measure_perfect ~rng ~p ~reps ~samples =
     for k = 0 to samples - 1 do
       let t = (10.0 *. t_c) +. (float_of_int k *. 2.0 *. t_c) in
       Array.iter
-        (fun s ->
-          while Mbac_traffic.Source.next_change s <= t do
-            Mbac_traffic.Source.fire s
-              ~now:(Mbac_traffic.Source.next_change s)
-          done)
+        (fun s -> Mbac_traffic.Source.fire_until s ~upto:t)
         sources;
       let load =
         Array.fold_left

@@ -146,4 +146,18 @@ let pop t =
     Some (time, payload)
   end
 
+(* No [ref] flag: the loop state lives in registers, so a singleton
+   batch — the overwhelmingly common case under continuous clocks —
+   costs zero allocation on top of the pop itself. *)
+let drain_min t ~f =
+  if t.size > 0 then begin
+    let t0 = min_time t in
+    f (min_payload t);
+    drop_min t;
+    while t.size > 0 && min_time t = t0 do
+      f (min_payload t);
+      drop_min t
+    done
+  end
+
 let clear t = t.size <- 0

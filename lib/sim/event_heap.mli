@@ -39,5 +39,11 @@ val pop : t -> (float * int) option
 (** Remove and return the earliest event.  Convenience wrapper over
     [min_time]/[min_payload]/[drop_min]; allocates the result pair. *)
 
+val drain_min : t -> f:(int -> unit) -> unit
+(** Pop every event sharing the current minimum timestamp, in FIFO
+    order, calling [f payload] for each.  Events that [f] itself pushes
+    at that exact timestamp are drained too (they carry later sequence
+    numbers, so they come last).  No-op on an empty heap. *)
+
 val clear : t -> unit
 (** Drop every pending event. *)

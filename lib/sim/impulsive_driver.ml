@@ -96,14 +96,12 @@ let m0_samples rng ~replications ~n_offered ~capacity ~alpha_ce ~make_source =
   series_finish ~stride ~replications;
   samples
 
-(* Advance every source to time [t] by firing pending changes. *)
+(* Advance every source to time [t] by firing pending changes, batched
+   per source.  Sources share one RNG stream, so the array-index order
+   (and, within a source, the epoch order [fire_until] preserves) is
+   part of the deterministic-output contract. *)
 let advance_to sources t =
-  Array.iter
-    (fun s ->
-      while Mbac_traffic.Source.next_change s <= t do
-        Mbac_traffic.Source.fire s ~now:(Mbac_traffic.Source.next_change s)
-      done)
-    sources
+  Array.iter (fun s -> Mbac_traffic.Source.fire_until s ~upto:t) sources
 
 let total_rate sources =
   Array.fold_left (fun acc s -> acc +. Mbac_traffic.Source.rate s) 0.0 sources

@@ -135,7 +135,14 @@ let batch_rel_var values n_batches =
    run until the load exceeds [target] (success) or falls to/below
    [base] (failure).  The entrance state may already sit beyond [target]
    (a single rate jump can cross several thresholds), so the conditions
-   are checked before the first step. *)
+   are checked before the first step.
+
+   Trials lean on the simulator's stepping API: [step] advances exactly
+   one event (never a timestamp batch), so the load is inspected between
+   every pair of events, and snapshot/restore deep-copies the event
+   queue.  [Calendar_queue.copy] compacts the entry pool to the pending
+   count — O(pending), same as the old heap copy — so entrance snapshots
+   harvested per level stay cheap to hold and to restore from. *)
 type trial = {
   success : bool;
   truncated : bool;

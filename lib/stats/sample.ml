@@ -12,14 +12,24 @@ let[@inline] exponential rng ~mean =
 
 (* Marsaglia polar method; generates pairs but we keep it stateless by
    discarding the second variate (cheap relative to the simulation cost,
-   and avoids hidden state in the sampler).  The rejection loop makes
-   this the one sampler call that cannot inline, so a draw costs one
-   boxed return. *)
-let rec standard_gaussian rng =
+   and avoids hidden state in the sampler).  The first attempt accepts
+   with probability pi/4, so it is unrolled into an [@inline] wrapper:
+   the common case then compiles to straight-line float code in the
+   caller, and only a rejection pays the boxed return of the recursive
+   retry path.  Both paths consume the RNG identically, so unrolling
+   does not move any stream. *)
+let rec standard_gaussian_retry rng =
   let u = (2.0 *. Rng.float rng) -. 1.0 in
   let v = (2.0 *. Rng.float rng) -. 1.0 in
   let s = (u *. u) +. (v *. v) in
-  if s >= 1.0 || s = 0.0 then standard_gaussian rng
+  if s >= 1.0 || s = 0.0 then standard_gaussian_retry rng
+  else u *. sqrt (-2.0 *. log s /. s)
+
+let[@inline] standard_gaussian rng =
+  let u = (2.0 *. Rng.float rng) -. 1.0 in
+  let v = (2.0 *. Rng.float rng) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then standard_gaussian_retry rng
   else u *. sqrt (-2.0 *. log s /. s)
 
 let[@inline] gaussian rng ~mu ~sigma =

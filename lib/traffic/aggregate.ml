@@ -19,12 +19,7 @@ let sample_path rng make ~n_sources ~horizon ~dt =
      fires its own pending changes up to the sample time. *)
   for i = 0 to n_samples - 1 do
     let t = float_of_int i *. dt in
-    Array.iter
-      (fun s ->
-        while Source.next_change s <= t do
-          Source.fire s ~now:(Source.next_change s)
-        done)
-      sources;
+    Array.iter (fun s -> Source.fire_until s ~upto:t) sources;
     out.(i) <- Array.fold_left (fun acc s -> acc +. Source.rate s) 0.0 sources
   done;
   out

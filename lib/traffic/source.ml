@@ -58,6 +58,19 @@ let fire t ~now =
   t.step t.state ~now;
   assert (t.state.State.next_change > now)
 
+(* Batched advance: identical draw sequence to firing one change at a
+   time at its own epoch (each step sees [now] = the epoch it fires),
+   but the step closure and state are fetched once for the whole
+   sweep. *)
+let fire_until t ~upto =
+  let st = t.state in
+  let step = t.step in
+  while st.State.next_change <= upto do
+    let now = st.State.next_change in
+    step st ~now;
+    assert (st.State.next_change > now)
+  done
+
 let mean t = t.mean
 let variance t = t.variance
 let peak_hint t = t.state.State.peak_hint

@@ -61,6 +61,13 @@ val fire : t -> now:float -> unit
 (** Execute the pending rate change.  [now] must be the source's
     [next_change] time (asserted). *)
 
+val fire_until : t -> upto:float -> unit
+(** Fire every change epoch at or before [upto], each at its own epoch
+    time, in one pass.  Draw-for-draw identical to looping
+    [fire t ~now:(next_change t)], so replacing such a loop never
+    perturbs a seeded run; it only hoists the per-fire dispatch out of
+    the loop. *)
+
 val mean : t -> float
 (** Nominal stationary mean rate of the model that built this source. *)
 

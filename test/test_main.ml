@@ -5,7 +5,7 @@ let () =
    @ Test_batch_means.suite @ Test_distributions.suite @ Test_histogram.suite
    @ Test_integrate.suite @ Test_roots.suite @ Test_fft.suite
    @ Test_fgn.suite @ Test_interp.suite @ Test_linalg.suite
-   @ Test_sources.suite @ Test_trace.suite @ Test_event_heap.suite
+   @ Test_sources.suite @ Test_trace.suite @ Test_event_queue.suite
    @ Test_parallel.suite
    @ Test_measurement.suite @ Test_core_basics.suite @ Test_estimator.suite
    @ Test_analysis.suite @ Test_controller.suite @ Test_sim_integration.suite
