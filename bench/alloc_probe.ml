@@ -109,6 +109,29 @@ let () =
            Mbac_sim.Calendar_queue.push cal_big ~time:(tm +. 100_000.0) 7
          done));
 
+  (* cross-shard exchange: a steady window cycle of sends followed by a
+     merge-sorted deliver on each destination.  Outboxes, inboxes and
+     the merge scratch all grow once and are then reused, so the steady
+     state must be allocation-free per exchanged message. *)
+  let ex = Mbac_net.Exchange.create ~shards:4 in
+  let ex_batch = 64 in
+  report "Exchange send+deliver (per message)"
+    (words_per_op ~ops:1_000_000 (fun n ->
+         for w = 1 to n / ex_batch do
+           let time = float_of_int w in
+           for m = 0 to ex_batch - 1 do
+             Mbac_net.Exchange.send ex ~src:(m land 3) ~dst:(m lsr 4)
+               ~time ~kind:0 ~link:m ~hop:1 ~route:m ~seq:m ~islot:m
+               ~igen:0 ~rate:1.0 ~t_end:(time +. 10.0)
+           done;
+           for dst = 0 to 3 do
+             let count = Mbac_net.Exchange.deliver ex ~dst in
+             for i = 0 to count - 1 do
+               keep_float 3 (Mbac_net.Exchange.in_time ex i)
+             done
+           done
+         done));
+
   (* observation construction (the pointer store into [keep] does not
      allocate; the record itself is the 5 words under test) *)
   let obs100 =

@@ -259,8 +259,11 @@ let split_top text =
       | _ -> ()
   done;
   if !start < n then items := String.sub text !start (n - !start) :: !items;
-  List.rev_map String.trim !items |> List.rev
-  |> List.filter (fun s -> s <> "")
+  (* [!items] is consed in reverse scan order; [rev_map] restores it.
+     (A former extra [List.rev] here returned the items reversed, which
+     silently flipped the BENCH.json history on every run — the order
+     of pre-existing entries in the file reflects that.) *)
+  List.rev_map String.trim !items |> List.filter (fun s -> s <> "")
 
 let read_file path =
   try Some (In_channel.with_open_text path In_channel.input_all)
@@ -1001,6 +1004,225 @@ let run_serve fmt ~toy =
     sv_updates = stats.Mbac_serve.Engine.updates;
     sv_pass = pass }
 
+(* ---------- Network gate (--network) ---------- *)
+
+(* The sharded multi-link simulator against two bars:
+
+   - overhead: a 1-shard 1-link network is the Continuous_load Poisson
+     loop plus the wheel-payload/window machinery, processing the
+     identical draw sequence (the equivalence suite proves the runs
+     match draw-for-draw and bitwise).  The machinery may not cost more
+     than 10%: events/sec >= 0.9x the plain loop's.
+   - scaling: an 8-leaf star resharded across {1, 2, 4} wheels with
+     jobs = shards.  Hardware-aware bars like the replication sweep:
+     >= 2.5x at 4 shards on >= 4 cores, >= 1.4x at 2 on >= 2, else a
+     0.7x overhead bound (domains time-sharing one core make a
+     wall-clock speedup physically unattainable; the bound guards
+     against window bookkeeping becoming a deep net loss — the 1-core
+     reference container measures 0.76-0.86x at 4 shards, so the bar
+     sits under the noise floor like the other gates').
+
+   The rendered summary of every scaling run must also be
+   byte-identical across shard counts — the determinism contract is
+   re-checked inside the perf gate so a "fix" that buys throughput by
+   breaking it cannot pass. *)
+
+let network_overhead_min = 0.9
+
+let network_required ~cores ~effective =
+  let hw = min effective cores in
+  if effective >= 4 && hw >= 4 then 2.5
+  else if effective >= 2 && hw >= 2 then 1.4
+  else 0.7
+
+type network_row = {
+  n_shards : int;
+  n_jobs : int;
+  n_events : int;
+  n_events_per_sec : float;
+  n_speedup : float; (* nan for the shards=1 base row *)
+  n_required : float; (* nan for the shards=1 base row *)
+  n_pass : bool;
+}
+
+type network_numbers = {
+  nw_toy : bool;
+  nw_loop_events_per_sec : float;
+  nw_single_events_per_sec : float;
+  nw_overhead_ratio : float;
+  nw_overhead_pass : bool;
+  nw_rows : network_row list;
+  nw_deterministic : bool;
+  nw_pass : bool;
+}
+
+let network_capacity = 100.0
+let network_rate = 0.09 (* offered load 0.9 per link at t_h = 1000 *)
+
+let network_make_source rng ~start =
+  Mbac_traffic.Rcbr.create rng
+    (Mbac_traffic.Rcbr.default_params ~mu:1.0)
+    ~start
+
+let network_controller ~link:_ ~capacity =
+  Mbac.Controller.with_memory ~capacity ~p_ce:1e-3 ~t_m:100.0
+
+let network_cfg ~topology ~shards ~max_events =
+  { (Mbac_net.Network.default_config ~topology ~holding_time_mean:1000.0
+       ~target_p_q:1e-3)
+    with
+    Mbac_net.Network.shards;
+    warmup = 10.0;
+    batch_length = 100.0;
+    max_events }
+
+let network_run ~topology ~shards ~jobs ~max_events =
+  Mbac_net.Network.run ~jobs ~seed:11
+    (network_cfg ~topology ~shards ~max_events)
+    ~make_controller:network_controller ~make_source:network_make_source
+
+(* median of three timed runs, same smoothing as the queue hold model
+   (the first rep also absorbs domain spawn for the barrier driver) *)
+let time_network ~topology ~shards ~jobs ~max_events =
+  let eps = Float.Array.create hold_reps in
+  let result = ref None in
+  for rep = 0 to hold_reps - 1 do
+    let t0 = now_ns () in
+    let r = network_run ~topology ~shards ~jobs ~max_events in
+    let t1 = now_ns () in
+    result := Some r;
+    Float.Array.set eps rep
+      (float_of_int r.Mbac_net.Network.events /. ((t1 -. t0) /. 1e9))
+  done;
+  (Option.get !result, median3 eps)
+
+let run_network fmt ~toy =
+  Format.fprintf fmt
+    "@.=== Network gate (sharded multi-link simulator)%s ===@."
+    (if toy then " [toy]" else "");
+  let single_events = if toy then 100_000 else 500_000 in
+  let single_topo =
+    Mbac_net.Topology.line ~links:1 ~capacity:network_capacity
+      ~rate:network_rate
+  in
+  ignore
+    (network_run ~topology:single_topo ~shards:1 ~jobs:1
+       ~max_events:(single_events / 5)) (* warm up code + allocator *);
+  let net1, net1_eps =
+    time_network ~topology:single_topo ~shards:1 ~jobs:1
+      ~max_events:single_events
+  in
+  (* the reference loop consumes the identical stream and event count,
+     so the ratio compares machinery, not workload *)
+  let loop_cfg =
+    { (Mbac_sim.Continuous_load.default_config ~capacity:network_capacity
+         ~holding_time_mean:1000.0 ~target_p_q:1e-3)
+      with
+      Mbac_sim.Continuous_load.arrival = `Poisson network_rate;
+      warmup = 10.0;
+      batch_length = 100.0;
+      check_every_events = max_int;
+      max_events = net1.Mbac_net.Network.events }
+  in
+  let run_loop () =
+    Mbac_sim.Continuous_load.run
+      (Mbac_stats.Rng.derive ~seed:11
+         ~tag:(Mbac_net.Network.route_stream_tag 0))
+      loop_cfg
+      ~controller:(network_controller ~link:0 ~capacity:network_capacity)
+      ~make_source:network_make_source
+  in
+  ignore (run_loop ());
+  let loop_eps =
+    let eps = Float.Array.create hold_reps in
+    for rep = 0 to hold_reps - 1 do
+      let t0 = now_ns () in
+      let r = run_loop () in
+      let t1 = now_ns () in
+      Float.Array.set eps rep
+        (float_of_int r.Mbac_sim.Continuous_load.events /. ((t1 -. t0) /. 1e9))
+    done;
+    median3 eps
+  in
+  let ratio = net1_eps /. loop_eps in
+  let overhead_pass = ratio >= network_overhead_min in
+  Format.fprintf fmt "  continuous-load loop:    %10.0f events/sec  (%d events)@."
+    loop_eps net1.Mbac_net.Network.events;
+  Format.fprintf fmt
+    "  1-shard 1-link network:  %10.0f events/sec   ratio x%.2f (>= %.2f: %s)@."
+    net1_eps ratio network_overhead_min
+    (if overhead_pass then "PASS" else "FAIL");
+  let star_topo =
+    Mbac_net.Topology.star ~leaves:8 ~capacity:network_capacity
+      ~rate:network_rate
+  in
+  let scale_events = if toy then 150_000 else 600_000 in
+  let cores = Domain.recommended_domain_count () in
+  Format.fprintf fmt
+    "  8-leaf star, shards = jobs in {1, 2, 4} (%d core(s) available, \
+     domain cap %d):@."
+    cores
+    (Mbac_sim.Parallel.domain_cap ());
+  let base_eps = ref nan in
+  let renders = ref [] in
+  let rows =
+    List.map
+      (fun shards ->
+        let jobs = shards in
+        let r, eps =
+          time_network ~topology:star_topo ~shards ~jobs
+            ~max_events:scale_events
+        in
+        renders :=
+          Format.asprintf "%a" Mbac_net.Network.pp_result r :: !renders;
+        if shards = 1 then base_eps := eps;
+        let speedup = if shards = 1 then nan else eps /. !base_eps in
+        let effective = Mbac_sim.Parallel.effective_jobs ~jobs shards in
+        let required =
+          if shards = 1 then nan else network_required ~cores ~effective
+        in
+        let pass = shards = 1 || speedup >= required in
+        Format.fprintf fmt "    shards %d: %10.0f events/sec%s@." shards eps
+          (if shards = 1 then "   (base)"
+           else
+             Printf.sprintf "   speedup x%.2f  (width %d, required >= %.2f: %s)"
+               speedup effective required
+               (if pass then "PASS" else "FAIL"));
+        { n_shards = shards;
+          n_jobs = jobs;
+          n_events = r.Mbac_net.Network.events;
+          n_events_per_sec = eps;
+          n_speedup = speedup;
+          n_required = required;
+          n_pass = pass })
+      [ 1; 2; 4 ]
+  in
+  if cores < 4 then
+    Format.fprintf fmt
+      "  note: %d core(s) < 4 — multicore targets cannot apply; gating the \
+       overhead bound instead.@."
+      cores;
+  let deterministic =
+    match !renders with
+    | [] -> false
+    | r0 :: rest -> List.for_all (String.equal r0) rest
+  in
+  Format.fprintf fmt "  resharded summaries byte-identical: %s@."
+    (if deterministic then "yes" else "NO — determinism contract broken");
+  let rows_pass = List.for_all (fun r -> r.n_pass) rows in
+  let pass = deterministic && (toy || (overhead_pass && rows_pass)) in
+  if not toy then
+    Format.fprintf fmt "  network gate: %s@."
+      (if pass then "PASS" else "FAIL");
+  { nw_toy = toy;
+    nw_loop_events_per_sec = loop_eps;
+    nw_single_events_per_sec = net1_eps;
+    nw_overhead_ratio = ratio;
+    nw_overhead_pass = overhead_pass;
+    nw_rows = rows;
+    nw_deterministic = deterministic;
+    nw_pass = pass }
+
 (* ---------- BENCH.json ---------- *)
 
 (* Sections a given invocation does not re-measure (e.g. micro when only
@@ -1021,8 +1243,30 @@ let git_describe () =
 
 let history_cap = 50
 
+(* The history entry keys, in output order.  Re-runs at the same commit
+   and profile (e.g. --hotpath then --network while iterating) merge
+   into one row keyed by describe + profile instead of appending
+   near-duplicates: the newly measured fields win, the old row fills
+   the rest. *)
+let history_keys =
+  [ "describe"; "profile"; "reproduction_ns"; "hotpath_events_per_sec";
+    "queue_calendar_events_per_sec"; "queue_pending"; "rare_events_ratio";
+    "serve_decisions_per_sec"; "scaling_speedup_at_4";
+    "network_events_per_sec" ]
+
+let merge_history_entries ~prev ~entry =
+  Mbac_telemetry.Json.obj
+    (List.filter_map
+       (fun key ->
+         match (extract_raw ~key entry, extract_raw ~key prev) with
+         | Some v, _ when v <> "null" -> Some (key, v)
+         | _, Some v -> Some (key, v)
+         | Some v, None -> Some (key, v)
+         | None, None -> None)
+       history_keys)
+
 let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare
-    ~serve =
+    ~serve ~network =
   let open Mbac_telemetry.Json in
   let fnan v = if Float.is_nan v then "null" else float v in
   let previous = read_file path in
@@ -1154,6 +1398,33 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare
             ("gate_pass", bool s.sv_pass) ])
       serve
   in
+  let network_json =
+    Option.map
+      (fun nw ->
+        obj
+          [ ("toy", bool nw.nw_toy);
+            ("continuous_load_events_per_sec", fnan nw.nw_loop_events_per_sec);
+            ("single_link_events_per_sec", fnan nw.nw_single_events_per_sec);
+            ("overhead_ratio", fnan nw.nw_overhead_ratio);
+            ("overhead_gate_min", float network_overhead_min);
+            ("overhead_pass", bool nw.nw_overhead_pass);
+            ("deterministic_across_shards", bool nw.nw_deterministic);
+            ("gate_pass", bool nw.nw_pass);
+            ("rows",
+             arr
+               (List.map
+                  (fun r ->
+                    obj
+                      [ ("shards", int r.n_shards);
+                        ("jobs", int r.n_jobs);
+                        ("events", int r.n_events);
+                        ("events_per_sec", fnan r.n_events_per_sec);
+                        ("speedup", fnan r.n_speedup);
+                        ("required", fnan r.n_required);
+                        ("pass", bool r.n_pass) ])
+                  nw.nw_rows)) ])
+      network
+  in
   let history_json =
     let prev_items =
       match previous with
@@ -1211,6 +1482,16 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare
                | last :: _ -> fnan last.qr_cal_events_per_sec
                | [] -> "null")
            | None -> "null");
+          (* which pending population the recorded queue throughput was
+             measured at (the sweep's last row): a --pending override
+             must not masquerade as a regression in the trajectory *)
+          ("queue_pending",
+           match hotpath with
+           | Some h -> (
+               match List.rev h.hp_queue_rows with
+               | last :: _ -> int last.qr_pending
+               | [] -> "null")
+           | None -> "null");
           ("rare_events_ratio",
            match rare with Some r -> fnan r.r_events_ratio | None -> "null");
           ("serve_decisions_per_sec",
@@ -1223,10 +1504,24 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare
                match List.find_opt (fun r -> r.s_jobs = 4) rows with
                | Some r -> fnan r.s_speedup
                | None -> "null")
+           | None -> "null");
+          ("network_events_per_sec",
+           match network with
+           | Some nw -> (
+               match List.rev nw.nw_rows with
+               | last :: _ -> fnan last.n_events_per_sec
+               | [] -> "null")
            | None -> "null")
         ]
     in
-    let items = prev_items @ [ entry ] in
+    let same key a b = extract_raw ~key a = extract_raw ~key b in
+    let items =
+      match List.rev prev_items with
+      | prev :: older
+        when same "describe" prev entry && same "profile" prev entry ->
+          List.rev (merge_history_entries ~prev ~entry :: older)
+      | _ -> prev_items @ [ entry ]
+    in
     let n = List.length items in
     arr (if n > history_cap then List.filteri (fun i _ -> i >= n - history_cap) items
          else items)
@@ -1242,6 +1537,7 @@ let write_bench_json ~path ~profile ~repro_ns ~micro ~scaling ~hotpath ~rare
         ("hotpath", carry "hotpath" hotpath_json);
         ("rare", carry "rare" rare_json);
         ("serve", carry "serve" serve_json);
+        ("network", carry "network" network_json);
         ("history", history_json) ]
   in
   let oc = open_out path in
@@ -1258,6 +1554,7 @@ let () =
   let hotpath_only = Array.exists (fun a -> a = "--hotpath") argv in
   let rare_only = Array.exists (fun a -> a = "--rare") argv in
   let serve_only = Array.exists (fun a -> a = "--serve") argv in
+  let network_only = Array.exists (fun a -> a = "--network") argv in
   let toy = Array.exists (fun a -> a = "--toy") argv in
   let arg_value name =
     let v = ref None in
@@ -1298,6 +1595,7 @@ let () =
   let hotpath = ref None in
   let rare = ref None in
   let serve = ref None in
+  let network = ref None in
   (* --pending N restricts the queue hold-model sweep to one population;
      the default sweep shows scaling across three decades. *)
   let pending_list =
@@ -1311,6 +1609,7 @@ let () =
         (run_hotpath fmt ~baseline:(load_baseline ~json_path) ~pending_list)
   else if rare_only then rare := Some (run_rare fmt ~toy)
   else if serve_only then serve := Some (run_serve fmt ~toy)
+  else if network_only then network := Some (run_network fmt ~toy)
   else if not scaling_only then begin
     let t0 = now () in
     run_reproduction ~profile fmt;
@@ -1318,11 +1617,11 @@ let () =
     if not skip_micro then micro := Some (run_micro fmt)
   end;
   let scaling =
-    if hotpath_only || rare_only || serve_only then None
+    if hotpath_only || rare_only || serve_only || network_only then None
     else Some (run_scaling fmt)
   in
   write_bench_json ~path:json_path ~profile ~repro_ns:!repro_ns ~micro:!micro
-    ~scaling ~hotpath:!hotpath ~rare:!rare ~serve:!serve;
+    ~scaling ~hotpath:!hotpath ~rare:!rare ~serve:!serve ~network:!network;
   Format.fprintf fmt "@.bench: wrote %s@." json_path;
   (match metrics_out with
   | Some path ->
@@ -1355,6 +1654,9 @@ let () =
   | Some _ | None -> ());
   (match !serve with
   | Some s when gate && not s.sv_pass -> exit 1
+  | Some _ | None -> ());
+  (match !network with
+  | Some nw when gate && not nw.nw_pass -> exit 1
   | Some _ | None -> ());
   match scaling with
   | Some rows when gate && not (List.for_all (fun r -> r.s_pass) rows) ->

@@ -1,0 +1,250 @@
+(* One outbox per (src, dst) shard pair.  Float fields live in
+   [Float.Array]s so stores never box; int fields are plain arrays.
+   Boxes only grow (by doubling) and are reset to length 0 at each
+   delivery, so the steady state allocates nothing. *)
+
+type box = {
+  mutable b_len : int;
+  mutable b_time : Float.Array.t;
+  mutable b_rate : Float.Array.t;
+  mutable b_tend : Float.Array.t;
+  mutable b_kind : int array;
+  mutable b_link : int array;
+  mutable b_hop : int array;
+  mutable b_route : int array;
+  mutable b_seq : int array;
+  mutable b_islot : int array;
+  mutable b_igen : int array;
+}
+
+type t = {
+  shards : int;
+  boxes : box array; (* src * shards + dst *)
+  (* reusable merge state, touched only by the delivering domain *)
+  mutable perm : int array;    (* packed (src lsl 32) lor idx *)
+  mutable scratch : int array;
+  (* inbox: merged messages in (time, src, seq) order *)
+  mutable i_len : int;
+  mutable i_time : Float.Array.t;
+  mutable i_rate : Float.Array.t;
+  mutable i_tend : Float.Array.t;
+  mutable i_kind : int array;
+  mutable i_link : int array;
+  mutable i_hop : int array;
+  mutable i_route : int array;
+  mutable i_seq : int array;
+  mutable i_islot : int array;
+  mutable i_igen : int array;
+  mutable delivered : int;
+}
+
+let make_box cap =
+  { b_len = 0;
+    b_time = Float.Array.create cap;
+    b_rate = Float.Array.create cap;
+    b_tend = Float.Array.create cap;
+    b_kind = Array.make cap 0;
+    b_link = Array.make cap 0;
+    b_hop = Array.make cap 0;
+    b_route = Array.make cap 0;
+    b_seq = Array.make cap 0;
+    b_islot = Array.make cap 0;
+    b_igen = Array.make cap 0 }
+
+let create ~shards =
+  if shards < 1 || shards > 256 then
+    invalid_arg "Exchange.create: shards outside 1..256";
+  { shards;
+    boxes = Array.init (shards * shards) (fun _ -> make_box 16);
+    perm = Array.make 16 0;
+    scratch = Array.make 16 0;
+    i_len = 0;
+    i_time = Float.Array.create 16;
+    i_rate = Float.Array.create 16;
+    i_tend = Float.Array.create 16;
+    i_kind = Array.make 16 0;
+    i_link = Array.make 16 0;
+    i_hop = Array.make 16 0;
+    i_route = Array.make 16 0;
+    i_seq = Array.make 16 0;
+    i_islot = Array.make 16 0;
+    i_igen = Array.make 16 0;
+    delivered = 0 }
+
+let grow_floats old len =
+  let n = Float.Array.create (2 * len) in
+  Float.Array.blit old 0 n 0 len;
+  n
+
+let grow_ints old len =
+  let n = Array.make (2 * len) 0 in
+  Array.blit old 0 n 0 len;
+  n
+
+let grow_box b =
+  let len = Array.length b.b_kind in
+  b.b_time <- grow_floats b.b_time len;
+  b.b_rate <- grow_floats b.b_rate len;
+  b.b_tend <- grow_floats b.b_tend len;
+  b.b_kind <- grow_ints b.b_kind len;
+  b.b_link <- grow_ints b.b_link len;
+  b.b_hop <- grow_ints b.b_hop len;
+  b.b_route <- grow_ints b.b_route len;
+  b.b_seq <- grow_ints b.b_seq len;
+  b.b_islot <- grow_ints b.b_islot len;
+  b.b_igen <- grow_ints b.b_igen len
+
+let send t ~src ~dst ~time ~kind ~link ~hop ~route ~seq ~islot ~igen ~rate
+    ~t_end =
+  let b = t.boxes.((src * t.shards) + dst) in
+  let i = b.b_len in
+  if i = Array.length b.b_kind then grow_box b;
+  Float.Array.set b.b_time i time;
+  Float.Array.set b.b_rate i rate;
+  Float.Array.set b.b_tend i t_end;
+  b.b_kind.(i) <- kind;
+  b.b_link.(i) <- link;
+  b.b_hop.(i) <- hop;
+  b.b_route.(i) <- route;
+  b.b_seq.(i) <- seq;
+  b.b_islot.(i) <- islot;
+  b.b_igen.(i) <- igen;
+  b.b_len <- i + 1
+
+(* A permutation entry packs (src shard, index within the (src, dst)
+   outbox) into one int with src in the high bits, so when two delivery
+   times are equal the plain int order of the entries IS the
+   (src_shard, seq) tie-break. *)
+let[@inline] pack ~src ~idx = (src lsl 32) lor idx
+let[@inline] unpack_src p = p lsr 32
+let[@inline] unpack_idx p = p land 0xFFFFFFFF
+
+let ensure_int_capacity arr m =
+  let len = Array.length arr in
+  if len >= m then arr
+  else begin
+    let n = ref (2 * len) in
+    while !n < m do
+      n := 2 * !n
+    done;
+    Array.make !n 0
+  end
+
+let grow_inbox t m =
+  let len = Array.length t.i_kind in
+  if len < m then begin
+    let n = ref (2 * len) in
+    while !n < m do
+      n := 2 * !n
+    done;
+    let n = !n in
+    t.i_time <- Float.Array.create n;
+    t.i_rate <- Float.Array.create n;
+    t.i_tend <- Float.Array.create n;
+    t.i_kind <- Array.make n 0;
+    t.i_link <- Array.make n 0;
+    t.i_hop <- Array.make n 0;
+    t.i_route <- Array.make n 0;
+    t.i_seq <- Array.make n 0;
+    t.i_islot <- Array.make n 0;
+    t.i_igen <- Array.make n 0
+  end
+
+let deliver t ~dst =
+  let shards = t.shards in
+  (* gather *)
+  let m = ref 0 in
+  for src = 0 to shards - 1 do
+    m := !m + t.boxes.((src * shards) + dst).b_len
+  done;
+  let m = !m in
+  t.perm <- ensure_int_capacity t.perm m;
+  t.scratch <- ensure_int_capacity t.scratch m;
+  grow_inbox t m;
+  let k = ref 0 in
+  for src = 0 to shards - 1 do
+    let b = t.boxes.((src * shards) + dst) in
+    for idx = 0 to b.b_len - 1 do
+      t.perm.(!k) <- pack ~src ~idx;
+      incr k
+    done
+  done;
+  (* bottom-up merge sort of perm[0..m-1] by (time, packed entry) *)
+  let time_of p =
+    let b = t.boxes.((unpack_src p * shards) + dst) in
+    Float.Array.get b.b_time (unpack_idx p)
+  in
+  let a = ref t.perm and b = ref t.scratch in
+  let width = ref 1 in
+  while !width < m do
+    let sa = !a and sb = !b in
+    let i = ref 0 in
+    while !i < m do
+      let mid = min m (!i + !width) in
+      let hi = min m (!i + (2 * !width)) in
+      let p = ref !i and q = ref mid and o = ref !i in
+      while !p < mid && !q < hi do
+        let ep = sa.(!p) and eq = sa.(!q) in
+        let tp = time_of ep and tq = time_of eq in
+        if tq < tp || (tq = tp && eq < ep) then begin
+          sb.(!o) <- eq;
+          incr q
+        end
+        else begin
+          sb.(!o) <- ep;
+          incr p
+        end;
+        incr o
+      done;
+      while !p < mid do
+        sb.(!o) <- sa.(!p);
+        incr p;
+        incr o
+      done;
+      while !q < hi do
+        sb.(!o) <- sa.(!q);
+        incr q;
+        incr o
+      done;
+      i := hi
+    done;
+    let tmp = !a in
+    a := !b;
+    b := tmp;
+    width := 2 * !width
+  done;
+  let sorted = !a in
+  (* scatter into the inbox, then reset the outboxes *)
+  for i = 0 to m - 1 do
+    let p = sorted.(i) in
+    let bx = t.boxes.((unpack_src p * shards) + dst) in
+    let idx = unpack_idx p in
+    Float.Array.set t.i_time i (Float.Array.get bx.b_time idx);
+    Float.Array.set t.i_rate i (Float.Array.get bx.b_rate idx);
+    Float.Array.set t.i_tend i (Float.Array.get bx.b_tend idx);
+    t.i_kind.(i) <- bx.b_kind.(idx);
+    t.i_link.(i) <- bx.b_link.(idx);
+    t.i_hop.(i) <- bx.b_hop.(idx);
+    t.i_route.(i) <- bx.b_route.(idx);
+    t.i_seq.(i) <- bx.b_seq.(idx);
+    t.i_islot.(i) <- bx.b_islot.(idx);
+    t.i_igen.(i) <- bx.b_igen.(idx)
+  done;
+  for src = 0 to shards - 1 do
+    t.boxes.((src * shards) + dst).b_len <- 0
+  done;
+  t.i_len <- m;
+  t.delivered <- t.delivered + m;
+  m
+
+let[@inline] in_time t i = Float.Array.get t.i_time i
+let[@inline] in_kind t i = t.i_kind.(i)
+let[@inline] in_link t i = t.i_link.(i)
+let[@inline] in_hop t i = t.i_hop.(i)
+let[@inline] in_route t i = t.i_route.(i)
+let[@inline] in_seq t i = t.i_seq.(i)
+let[@inline] in_islot t i = t.i_islot.(i)
+let[@inline] in_igen t i = t.i_igen.(i)
+let[@inline] in_rate t i = Float.Array.get t.i_rate i
+let[@inline] in_tend t i = Float.Array.get t.i_tend i
+let delivered_total t = t.delivered

@@ -1,0 +1,64 @@
+(** Conservative cross-shard message transport.
+
+    Shards exchange flow-setup traffic in structure-of-arrays outboxes:
+    one outbox per (source shard, destination shard) pair, written only
+    by its source shard while the window runs, drained only at the
+    window barrier by the single delivering domain.  Steady-state
+    {!send} and {!deliver} are allocation-free (arrays grow by doubling
+    and are then reused; [bench/alloc_probe] enforces ≈0 words per
+    exchanged message).
+
+    {2 Determinism}
+
+    {!deliver} merges every outbox destined for a shard into that
+    shard's inbox sorted by [(time, src_shard, seq)], where [seq] is
+    the source shard's send order.  The merged order is therefore a
+    pure function of the messages themselves — never of domain
+    scheduling — which is what makes network runs byte-identical across
+    [--jobs] and shard counts. *)
+
+type t
+
+val create : shards:int -> t
+(** [shards] in [1..256]. *)
+
+val send :
+  t ->
+  src:int ->
+  dst:int ->
+  time:float ->
+  kind:int ->
+  link:int ->
+  hop:int ->
+  route:int ->
+  seq:int ->
+  islot:int ->
+  igen:int ->
+  rate:float ->
+  t_end:float ->
+  unit
+(** Append a message to the [(src, dst)] outbox.  [time] is the
+    delivery (virtual) time; the remaining fields are protocol payload
+    the transport does not interpret.  Only shard [src]'s domain may
+    call this while a window is running. *)
+
+val deliver : t -> dst:int -> int
+(** Merge-sort every outbox destined for [dst] into its inbox and empty
+    them; returns the message count.  The inbox is then read with the
+    accessors below, indexed [0 .. count-1] in [(time, src, seq)]
+    order.  Must only be called between windows, after the barrier. *)
+
+val in_time : t -> int -> float
+val in_kind : t -> int -> int
+val in_link : t -> int -> int
+val in_hop : t -> int -> int
+val in_route : t -> int -> int
+val in_seq : t -> int -> int
+val in_islot : t -> int -> int
+val in_igen : t -> int -> int
+val in_rate : t -> int -> float
+val in_tend : t -> int -> float
+
+val delivered_total : t -> int
+(** Messages delivered over the exchange's lifetime (counted in
+    {!deliver}, so reading it is barrier-safe). *)

@@ -1,0 +1,94 @@
+(* Linear probing with tombstones.  [keys.(i)] is [empty] (-1),
+   [tombstone] (-2), or a non-negative key.  The table rehashes when
+   live + tombstone occupancy passes 3/4, sizing to keep the live load
+   factor at or below 1/2 — tombstone buildup from churn therefore
+   triggers a same-size rehash rather than unbounded probe growth. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable mask : int;
+  mutable live : int;
+  mutable used : int; (* live + tombstones *)
+}
+
+let empty = -1
+let tombstone = -2
+let initial = 16
+
+let create () =
+  { keys = Array.make initial empty;
+    vals = Array.make initial 0;
+    mask = initial - 1;
+    live = 0;
+    used = 0 }
+
+(* SplitMix64-style finalizer over the positive-int key (odd 61-bit
+   multipliers, since the canonical 64-bit constants do not fit OCaml's
+   63-bit int): adjacent packed (route, seq) keys would otherwise
+   cluster in a power-of-two table. *)
+let[@inline] hash k =
+  let h = k * 0x1E3779B97F4A7C15 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x1F58476D1CE4E5B9 in
+  h lxor (h lsr 32)
+
+let rec add t ~key ~value =
+  if 4 * (t.used + 1) > 3 * (t.mask + 1) then grow t;
+  let mask = t.mask in
+  let i = ref (hash key land mask) in
+  while t.keys.(!i) >= 0 do
+    i := (!i + 1) land mask
+  done;
+  if t.keys.(!i) = empty then t.used <- t.used + 1;
+  t.keys.(!i) <- key;
+  t.vals.(!i) <- value;
+  t.live <- t.live + 1
+
+and grow t =
+  let okeys = t.keys and ovals = t.vals in
+  let size = ref (2 * initial) in
+  while !size < 4 * (t.live + 1) do
+    size := !size * 2
+  done;
+  t.keys <- Array.make !size empty;
+  t.vals <- Array.make !size 0;
+  t.mask <- !size - 1;
+  t.live <- 0;
+  t.used <- 0;
+  Array.iteri
+    (fun i k -> if k >= 0 then add t ~key:k ~value:ovals.(i))
+    okeys
+
+let[@inline] find t ~key =
+  let mask = t.mask in
+  let i = ref (hash key land mask) in
+  let res = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let k = t.keys.(!i) in
+    if k = key then begin
+      res := t.vals.(!i);
+      continue := false
+    end
+    else if k = empty then continue := false
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+let remove t ~key =
+  let mask = t.mask in
+  let i = ref (hash key land mask) in
+  let continue = ref true in
+  while !continue do
+    let k = t.keys.(!i) in
+    if k = key then begin
+      t.keys.(!i) <- tombstone;
+      t.live <- t.live - 1;
+      continue := false
+    end
+    else if k = empty then continue := false
+    else i := (!i + 1) land mask
+  done
+
+let length t = t.live

@@ -1,0 +1,26 @@
+(** Open-addressing int→int hash map for the per-link reservation
+    tables.
+
+    Keys are non-negative ints (packed [(route, seq)] flow keys); values
+    are link-local slot indices.  Steady-state [add]/[find]/[remove] are
+    allocation-free — the backing arrays only grow, by doubling, when
+    the live population does.  The probe layout is a pure function of
+    the operation sequence, so identical op sequences (which the
+    sharding-invariance contract guarantees per link) produce identical
+    tables. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> key:int -> value:int -> unit
+(** [key] must be absent (enforced only by the caller: the network
+    engine never double-reserves a flow on a link). *)
+
+val find : t -> key:int -> int
+(** [-1] when absent. *)
+
+val remove : t -> key:int -> unit
+(** No-op when absent. *)
+
+val length : t -> int

@@ -114,6 +114,7 @@ type cursor = {
    [Some _]; its generation counts how many flows have occupied it. *)
 type state = {
   cfg : config;
+  arrival_mean : float; (* 1/rate for `Poisson, hoisted; nan for `Infinite *)
   rng : Mbac_stats.Rng.t;
   controller : Mbac.Controller.t;
   make_source : Mbac_stats.Rng.t -> start:float -> Mbac_traffic.Source.t;
@@ -233,6 +234,9 @@ let free_slot s slot =
   s.free.(s.free_top) <- slot;
   s.free_top <- s.free_top + 1
 
+(* Returns the granted rate so callers can advance their observation
+   incrementally ({!Mbac.Observation.admit}) instead of re-reading the
+   state they just updated. *)
 let admit_one s =
   let source = s.make_source s.rng ~start:s.hot.now in
   let slot = alloc_slot s in
@@ -250,7 +254,8 @@ let admit_one s =
   Calendar_queue.push s.queue ~time:(s.hot.now +. holding)
     (encode ~tag:tag_depart ~slot ~gen);
   Calendar_queue.push s.queue ~time:(Mbac_traffic.Source.next_change source)
-    (encode ~tag:tag_change ~slot ~gen)
+    (encode ~tag:tag_change ~slot ~gen);
+  r
 
 (* Infinite offered load: admit while the controller allows more flows
    than are present.  Each admission is observed before the next
@@ -264,8 +269,8 @@ let try_admit s obs0 =
   while !continue do
     let m = Mbac.Controller.admissible s.controller !obs in
     if s.n < m && s.n < s.cfg.max_flows then begin
-      admit_one s;
-      let obs' = observation s in
+      let r = admit_one s in
+      let obs' = Mbac.Observation.admit !obs ~rate:r in
       Mbac.Controller.observe s.controller obs';
       Mbac.Controller.on_admit s.controller obs';
       obs := obs'
@@ -279,17 +284,18 @@ let handle_arrival s =
   Mbac.Controller.observe s.controller obs;
   let m = Mbac.Controller.admissible s.controller obs in
   if s.n < m && s.n < s.cfg.max_flows then begin
-    admit_one s;
-    let obs' = observation s in
+    let r = admit_one s in
+    let obs' = Mbac.Observation.admit obs ~rate:r in
     Mbac.Controller.observe s.controller obs';
     Mbac.Controller.on_admit s.controller obs'
   end
   else s.blocked <- s.blocked + 1;
   match s.cfg.arrival with
-  | `Poisson rate ->
+  | `Poisson _ ->
       Calendar_queue.push s.queue
         ~time:
-          (s.hot.now +. Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
+          (s.hot.now
+          +. Mbac_stats.Sample.exponential s.rng ~mean:s.arrival_mean)
         tag_arrive
   | `Infinite -> ()
 
@@ -527,7 +533,12 @@ let start rng cfg ~controller ~make_source =
   | `Poisson _ | `Infinite -> ());
   Mbac.Controller.reset controller;
   let s =
-    { cfg; rng; controller; make_source;
+    { cfg;
+      arrival_mean =
+        (match cfg.arrival with
+        | `Poisson rate -> 1.0 /. rate
+        | `Infinite -> nan);
+      rng; controller; make_source;
       queue = Calendar_queue.create ();
       granted = Float.Array.create 0;
       sources = [||];
@@ -571,9 +582,9 @@ let start rng cfg ~controller ~make_source =
    Mbac.Controller.observe controller obs0;
    match cfg.arrival with
    | `Infinite -> try_admit s obs0
-   | `Poisson rate ->
+   | `Poisson _ ->
        Calendar_queue.push s.queue
-         ~time:(Mbac_stats.Sample.exponential s.rng ~mean:(1.0 /. rate))
+         ~time:(Mbac_stats.Sample.exponential s.rng ~mean:s.arrival_mean)
          tag_arrive);
   s
 
@@ -595,7 +606,7 @@ let[@inline] step s =
    [admit_one] hands to future sources — so a clone's randomness is
    fully determined by the [rng] passed here. *)
 let clone s ~rng =
-  { cfg = s.cfg; rng;
+  { cfg = s.cfg; arrival_mean = s.arrival_mean; rng;
     controller = Mbac.Controller.copy s.controller;
     make_source = s.make_source;
     queue = Calendar_queue.copy s.queue;
@@ -672,12 +683,21 @@ let run rng cfg ~controller ~make_source =
     s.events <- s.events + 1;
     if s.events mod 4_000_000 = 0 then resync_sums s
   in
+  (* Events processed since the last stop check.  A [mod] test on the
+     running total would skip a check whenever a same-timestamp
+     [drain_min] batch jumps the counter across the boundary without
+     landing on it — the check then waits for the total to hit an exact
+     multiple again, which it may never do. *)
+  let since_check = ref 0 in
   while !running do
     if Calendar_queue.is_empty s.queue then
       running := false (* cannot happen while flows exist *)
     else begin
+      let before = s.events in
       Calendar_queue.drain_min s.queue ~f:dispatch;
-      if s.events mod cfg.check_every_events = 0 then begin
+      since_check := !since_check + (s.events - before);
+      if !since_check >= cfg.check_every_events then begin
+        since_check := 0;
         match
           Measurement.check_stop ~confidence:cfg.confidence ~rel_ci:cfg.rel_ci
             ~min_batches:cfg.min_batches s.meas ~target:cfg.target_p_q

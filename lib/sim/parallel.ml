@@ -86,7 +86,7 @@ type 'a cell = {
 let default_chunk ~width n =
   if width <= 1 then 1 else max 1 (min 32 (n / (width * 8)))
 
-let run_tasks ?jobs ?chunk ?init tasks =
+let run_tasks ?jobs ?chunk ?init ?(count_tasks = true) tasks =
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   if n = 0 then []
@@ -197,8 +197,11 @@ let run_tasks ?jobs ?chunk ?init tasks =
        the merged total is identical, but tasks skip a per-task handle
        resolution and tasks that record nothing keep an empty shard
        (which the merge then skips outright). *)
-    Mbac_telemetry.Metrics.Handle.inc m_tasks ~by:(n - skipped);
-    if skipped > 0 then Mbac_telemetry.Metrics.Handle.inc m_skipped ~by:skipped;
+    if count_tasks then begin
+      Mbac_telemetry.Metrics.Handle.inc m_tasks ~by:(n - skipped);
+      if skipped > 0 then
+        Mbac_telemetry.Metrics.Handle.inc m_skipped ~by:skipped
+    end;
     Array.iter
       (function
         | Some { outcome = Failed (e, bt); _ } ->

@@ -47,7 +47,8 @@
     submitting domain's shard {e in submission order}, so aggregated
     metrics and traces are byte-identical for every [jobs] value.
     Executed tasks are counted into [parallel_tasks_total] (incremented
-    once at the join, in the submitting shard) and, when profiling is
+    once at the join, in the submitting shard; suppressed by
+    [~count_tasks:false]) and, when profiling is
     enabled, each records its wall-clock latency under the
     [parallel.task] span.  Tasks skipped by first-failure cancellation
     contribute no telemetry and are counted in
@@ -68,11 +69,18 @@ val effective_jobs : ?jobs:int -> int -> int
     @raise Invalid_argument if [jobs < 1]. *)
 
 val run_tasks :
-  ?jobs:int -> ?chunk:int -> ?init:(unit -> unit) -> (unit -> 'a) list ->
-  'a list
+  ?jobs:int -> ?chunk:int -> ?init:(unit -> unit) ->
+  ?count_tasks:bool -> (unit -> 'a) list -> 'a list
 (** [run_tasks ~jobs tasks] executes every task on a pool of
     {!effective_jobs} domains and returns the results in submission
     order.
+
+    [count_tasks] (default [true]) controls the
+    [parallel_tasks_total] / [parallel_tasks_skipped_total] increments.
+    Pass [false] when the {e number} of pool invocations depends on the
+    execution width — as in the network engine, whose window drivers
+    submit a width-dependent task count — so metric snapshots stay
+    byte-identical for every [jobs] value there too.
 
     [chunk] is the number of consecutive tasks a worker claims per
     queue round-trip (default: auto, roughly [n / (8 * width)] capped

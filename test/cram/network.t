@@ -1,0 +1,57 @@
+The sharded network simulator's determinism contract: byte-identical
+output for every --shards and --jobs combination.  The golden run below
+is the serial single-shard reference; every resharded / reparallelized
+run must reproduce it exactly (only the banner's shard count differs,
+so it is normalized away before comparing).
+
+Pin the domain cap so the sharded runs spawn real worker domains even
+on a narrow runner:
+
+  $ export MBAC_DOMAIN_CAP=4
+
+The serial single-shard reference on a 4-leaf star:
+
+  $ mbac_sim network --topology star:4 -n 30 --t-h 100 --max-events 120000 --seed 9 --jobs 1 | tee net.golden
+  network: 4 links, 6 routes, 1 shards, controller robust[T_m=18.3,alpha_ce=3.29], source rcbr
+  network: admitted 631 blocked 173 departed 608 blocking 0.215174
+  events 120027 sim_time 1450
+  link 0: capacity 30 p_f 0.000418842 (gaussian-fit) util 0.704513 load 21.1354+-2.65405 reserved 355 blocked 42 released 339 updates 29128 ovf 0
+  link 1: capacity 30 p_f 2.11461e-05 (direct) util 0.709667 load 21.29+-2.9925 reserved 364 blocked 51 released 339 updates 29410 ovf 1
+  link 2: capacity 30 p_f 0.000312681 (gaussian-fit) util 0.715328 load 21.4598+-2.49685 reserved 336 blocked 29 released 317 updates 29477 ovf 0
+  link 3: capacity 30 p_f 0.00627934 (gaussian-fit) util 0.667042 load 20.0112+-4.00183 reserved 320 blocked 52 released 301 updates 28386 ovf 1
+
+  $ sed 's/, [0-9]* shards,/, K shards,/' net.golden > net.ref
+
+Two shards, whole-run barrier driver (jobs = shards):
+
+  $ mbac_sim network --topology star:4 -n 30 --t-h 100 --max-events 120000 --seed 9 --shards 2 --jobs 2 | sed 's/, [0-9]* shards,/, K shards,/' > net.s2
+  $ cmp net.ref net.s2 && echo byte-identical
+  byte-identical
+
+Four shards at full width, and the same four shards squeezed through a
+two-domain pool (the per-window fallback driver):
+
+  $ mbac_sim network --topology star:4 -n 30 --t-h 100 --max-events 120000 --seed 9 --shards 4 --jobs 4 | sed 's/, [0-9]* shards,/, K shards,/' > net.s4
+  $ cmp net.ref net.s4 && echo byte-identical
+  byte-identical
+
+  $ mbac_sim network --topology star:4 -n 30 --t-h 100 --max-events 120000 --seed 9 --shards 4 --jobs 2 | sed 's/, [0-9]* shards,/, K shards,/' > net.s4j2
+  $ cmp net.ref net.s4j2 && echo byte-identical
+  byte-identical
+
+An explicit topology file behaves like the generators (a tight transit
+link blocks end-to-end and takes the blame):
+
+  $ cat > tight.topo <<'EOF'
+  > # ingress link, tight transit link
+  > link 30
+  > link 6
+  > route 0.27 0 1
+  > route 0.06 1
+  > EOF
+  $ mbac_sim network --topology-file tight.topo --t-h 100 --max-events 60000 --seed 11 --jobs 1
+  network: 2 links, 2 routes, 1 shards, controller robust[T_m=10,alpha_ce=3.29], source rcbr
+  network: admitted 286 blocked 2220 departed 311 blocking 0.885874
+  events 60003 sim_time 7606.96
+  link 0: capacity 30 p_f 4.88861e-89 (gaussian-fit) util 0.120223 load 3.60668+-1.32156 reserved 2088 blocked 0 released 2085 updates 23504 ovf 0
+  link 1: capacity 6 p_f 0.00104316 (direct) util 0.600028 load 3.60017+-0.803036 reserved 288 blocked 2247 released 284 updates 27374 ovf 50

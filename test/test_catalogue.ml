@@ -130,6 +130,27 @@ let run_splitting ~seed =
     (Mbac_sim.Splitting.run ~seed:(seed + 1) truncating splitting_sim_cfg
        ~controller:(controller ()) ~make_source)
 
+(* A tiny two-shard network run: registers every net_* total, including
+   the exchange counters (the transit route crosses both shards). *)
+let run_network ~seed =
+  let topology =
+    Mbac_net.Topology.line ~links:2 ~capacity:5.0 ~rate:0.4
+  in
+  let cfg =
+    { (Mbac_net.Network.default_config ~topology ~holding_time_mean:10.0
+         ~target_p_q:0.1)
+      with
+      Mbac_net.Network.shards = 2;
+      warmup = 2.0;
+      batch_length = 4.0;
+      max_events = 20_000 }
+  in
+  ignore
+    (Mbac_net.Network.run ~jobs:1 ~seed cfg
+       ~make_controller:(fun ~link:_ ~capacity ->
+         Mbac.Controller.peak_rate ~capacity ~peak:1.15)
+       ~make_source)
+
 (* One tiny in-process serving session touching every serve_* metric:
    connect, a decide that admits and one that rejects (admit/reject
    counters plus the latency histogram), accounting with measure_every=1
@@ -169,6 +190,7 @@ let registered_metrics () =
       run_parallel_paths ();
       run_splitting ~seed:45;
       run_serve_paths ();
+      run_network ~seed:46;
       List.map
         (fun (name, value) ->
           let kind =
